@@ -1,0 +1,52 @@
+//! Ablation: playback semantics — frozen allocations vs proportional
+//! re-spread.
+//!
+//! The evaluation engine defaults to FFC semantics (routers keep their
+//! installed splitting ratios; traffic on dead tunnels is lost). The
+//! alternative re-spreads each flow's admitted bandwidth over surviving
+//! tunnels, modeling a local rebalancing data plane. This ablation shows
+//! the availability ordering of the schemes is robust to that choice.
+
+use arrow_bench::{banner, schemes, setup_by_name, summary};
+use arrow_te::eval::{availability, PlaybackConfig};
+
+fn main() {
+    banner(
+        "ablation_playback",
+        "frozen vs re-spread playback (B4, demand 2x)",
+        "evaluation-methodology ablation (DESIGN.md)",
+    );
+    let s = setup_by_name("B4");
+    let inst = s.instances[0].scaled(2.0);
+    println!("{:<14} {:>12} {:>12}", "scheme", "frozen", "respread");
+    let mut order_frozen = Vec::new();
+    let mut order_respread = Vec::new();
+    for scheme in schemes(&s) {
+        let out = scheme.solve(&inst);
+        let frozen = availability(&inst, &out, &PlaybackConfig { respread: false });
+        let spread = availability(&inst, &out, &PlaybackConfig { respread: true });
+        println!("{:<14} {:>12.5} {:>12.5}", scheme.name(), frozen, spread);
+        order_frozen.push((scheme.name(), frozen));
+        order_respread.push((scheme.name(), spread));
+    }
+    // Strictly-greater comparison keeps the first of tied schemes (ARROW
+    // and ARROW-Naive often tie exactly).
+    let top = |v: &[(String, f64)]| -> String {
+        let mut best = v[0].clone();
+        for item in v.iter().skip(1) {
+            if item.1 > best.1 + 1e-12 {
+                best = item.clone();
+            }
+        }
+        best.0
+    };
+    summary(
+        "ablation_playback",
+        "scheme ordering robust to playback semantics",
+        &format!(
+            "best scheme frozen: {}, re-spread: {}",
+            top(&order_frozen),
+            top(&order_respread)
+        ),
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 5 — spectrum utilization of the (Facebook-like) fiber plant.
+//!
+//! Paper: 95% of fibers have spectrum utilization below 60%, i.e. at least
+//! 40% spare room for wavelength reconfiguration. Part (b)'s continuity
+//! effect (available ≠ usable spectrum) is demonstrated on three fibers.
+
+use arrow_bench::{banner, print_cdf, summary};
+use arrow_optical::SpectrumMask;
+use arrow_topology::facebook_like;
+
+fn main() {
+    banner(
+        "fig05",
+        "fiber spectrum utilization",
+        "Fig. 5a: 95% of fibers < 60% utilization",
+    );
+    let wan = facebook_like(17);
+    let utils: Vec<f64> = wan
+        .optical
+        .fibers()
+        .iter()
+        .map(|f| f.spectrum.utilization() * 100.0)
+        .collect();
+    print_cdf("spectrum utilization (%)", &utils, 10);
+    let below60 = utils.iter().filter(|&&u| u < 60.0).count() as f64 / utils.len() as f64;
+
+    // Fig. 5b: wavelength continuity shrinks usable spectrum.
+    println!("\ncontinuity effect (Fig. 5b): three fibers, each 75% available:");
+    let mut a = SpectrumMask::new(4);
+    let mut b = SpectrumMask::new(4);
+    let mut c = SpectrumMask::new(4);
+    a.occupy(0);
+    b.occupy(1);
+    c.occupy(2);
+    let usable = a.free_intersection(&b).free_intersection(&c);
+    println!(
+        "  per-fiber availability 75%; end-to-end usable: {:.0}% (slots {:?})",
+        100.0 * usable.free_count() as f64 / 4.0,
+        usable.free_slots().collect::<Vec<_>>()
+    );
+
+    summary(
+        "fig05",
+        "95% of fibers below 60% utilization",
+        &format!("{:.0}% of fibers below 60% utilization", below60 * 100.0),
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 6 — restoration ratio `U_φ = W'_φ / W_φ` of every fiber under all
+//! single-cut scenarios, and its relation to provisioned capacity.
+//!
+//! Paper: 34% of fibers fully restorable, 62% partially, 4% not at all;
+//! fibers carrying > 10 Tbps are almost never fully restorable.
+
+use arrow_bench::{banner, print_cdf, summary};
+use arrow_optical::{all_single_cut_ratios, RwaConfig};
+use arrow_topology::facebook_like;
+
+fn main() {
+    banner(
+        "fig06",
+        "restoration ratio across all single fiber cuts (Facebook-like)",
+        "Fig. 6: 34% full / 62% partial / 4% none; high-capacity fibers partial",
+    );
+    let wan = facebook_like(17);
+    let ratios = all_single_cut_ratios(&wan.optical, &RwaConfig::default());
+
+    let pct: Vec<f64> = ratios.iter().map(|r| r.ratio() * 100.0).collect();
+    print_cdf("restoration ratio (%)", &pct, 10);
+
+    let full = ratios.iter().filter(|r| r.is_full()).count() as f64 / ratios.len() as f64;
+    let none = ratios.iter().filter(|r| r.is_none()).count() as f64 / ratios.len() as f64;
+    let partial = 1.0 - full - none;
+
+    // (b) ratio vs provisioned capacity, bucketed.
+    println!("\nrestoration ratio vs provisioned capacity:");
+    println!("  {:>16} {:>10} {:>12}", "capacity bucket", "fibers", "mean ratio");
+    for (lo, hi) in [(0.0, 1000.0), (1000.0, 3000.0), (3000.0, 6000.0), (6000.0, f64::INFINITY)] {
+        let bucket: Vec<&_> = ratios
+            .iter()
+            .filter(|r| r.provisioned_gbps >= lo && r.provisioned_gbps < hi)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let mean: f64 =
+            bucket.iter().map(|r| r.ratio()).sum::<f64>() / bucket.len() as f64;
+        let label = if hi.is_finite() {
+            format!("{:.0}-{:.0} Gbps", lo, hi)
+        } else {
+            format!("> {:.0} Gbps", lo)
+        };
+        println!("  {:>16} {:>10} {:>11.0}%", label, bucket.len(), mean * 100.0);
+    }
+
+    summary(
+        "fig06",
+        "34% full, 62% partial, 4% none; big fibers never fully restorable",
+        &format!(
+            "{:.0}% full, {:.0}% partial, {:.0}% none across {} fibers",
+            full * 100.0,
+            partial * 100.0,
+            none * 100.0,
+            ratios.len()
+        ),
+    );
+}

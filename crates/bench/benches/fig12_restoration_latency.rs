@@ -1,0 +1,39 @@
+//! Fig. 12 — end-to-end restoration latency: state-of-the-art amplifier
+//! reconfiguration vs ARROW's noise loading.
+//!
+//! Paper: 1,021 s (≈17 min) legacy vs 8 s with ARROW — 127× faster; the
+//! existing wavelengths on the surrogate fibers are unaffected.
+
+use arrow_bench::{banner, summary};
+use arrow_sim::{build_testbed, restoration_trial, RoadmParams};
+
+fn main() {
+    banner(
+        "fig12",
+        "restoration latency with vs without noise loading",
+        "Fig. 12: 1,021 s legacy vs 8 s ARROW (127x)",
+    );
+    let tb = build_testbed();
+    let params = RoadmParams::default();
+    let legacy = restoration_trial(&tb, tb.fibers[3], false, &params);
+    let arrow = restoration_trial(&tb, tb.fibers[3], true, &params);
+
+    for (label, trial) in [("legacy", &legacy), ("ARROW", &arrow)] {
+        println!("{label} restoration timeline:");
+        for p in &trial.timeline {
+            println!("  t={:8.1}s  restored {:6.0} Gbps", p.time_s, p.restored_gbps);
+        }
+        println!("  -> total {:.1} s\n", trial.total_latency_s);
+    }
+    let ratio = legacy.total_latency_s / arrow.total_latency_s;
+    summary(
+        "fig12",
+        "legacy 1,021 s vs ARROW 8 s (127x)",
+        &format!(
+            "legacy {:.0} s vs ARROW {:.1} s ({:.0}x)",
+            legacy.total_latency_s, arrow.total_latency_s, ratio
+        ),
+    );
+    assert!(arrow.total_latency_s < 15.0);
+    assert!(ratio > 50.0);
+}

@@ -1,0 +1,87 @@
+//! Fig. 13 — availability vs demand scale for ARROW, ARROW-Naive, FFC-1,
+//! FFC-2, TeaVaR, and ECMP on B4, IBM, and the Facebook-like WAN.
+//!
+//! Paper: ARROW holds high availability at demand scales 2.0×–2.4× beyond
+//! the best failure-aware TE; on B4 it sustains 3.61× demand at 99.99%
+//! availability vs FFC-1's 1.63×.
+//!
+//! Scale note: scenario counts, traffic-matrix counts, and ticket counts
+//! are reduced from the paper's settings (see `SetupConfig`) so this bench
+//! finishes in minutes on a laptop; the bench prints its exact parameters.
+
+use arrow_bench::{banner, mean_availability, parallel_map, schemes, setup_by_name, summary};
+
+fn main() {
+    banner(
+        "fig13",
+        "availability vs demand scale, all schemes, all topologies",
+        "Fig. 13: ARROW's curve dominates; gains of 2.0x-2.4x at 99.99%",
+    );
+    let mut headline = Vec::new();
+    for topo in ["B4", "IBM", "Facebook"] {
+        let s = setup_by_name(topo);
+        let scales: Vec<f64> = if topo == "Facebook" {
+            vec![0.5, 1.0, 2.0, 3.0]
+        } else {
+            vec![0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0]
+        };
+        println!(
+            "\n[{topo}] {} | {} TMs, {} scenarios, {} tickets",
+            s.wan.summary(),
+            s.instances.len(),
+            s.instances[0].scenarios.len(),
+            s.tickets.max_tickets()
+        );
+        let mut schemes = schemes(&s);
+        if topo == "Facebook" {
+            // FFC-2 enumerates all C(156,2) fiber pairs — hours at this
+            // scale; the paper itself shows FFC-2 tracking ECMP. See the
+            // B4/IBM rows for its behaviour.
+            schemes.retain(|sch| sch.name() != "FFC-2");
+            println!("(FFC-2 omitted on Facebook-like for bench runtime)");
+        }
+        // One job per (scheme, scale); availability averaged over TMs.
+        let jobs: Vec<(usize, f64)> = (0..schemes.len())
+            .flat_map(|i| scales.iter().map(move |&sc| (i, sc)))
+            .collect();
+        let results = parallel_map(jobs.clone(), |&(i, sc)| {
+            mean_availability(&s, schemes[i].as_ref(), sc)
+        });
+        print!("{:<14}", "scheme\\scale");
+        for sc in &scales {
+            print!(" {:>9.2}", sc);
+        }
+        println!();
+        let mut arrow_at_999 = 0.0f64;
+        let mut best_other_at_999 = 0.0f64;
+        for (i, scheme) in schemes.iter().enumerate() {
+            print!("{:<14}", scheme.name());
+            let mut max_ok = 0.0f64;
+            for (j, &sc) in scales.iter().enumerate() {
+                let a = results[jobs.iter().position(|&(ii, ss)| ii == i && ss == sc).unwrap()];
+                let _ = j;
+                print!(" {:>9.5}", a);
+                if a >= 0.999 {
+                    max_ok = max_ok.max(sc);
+                }
+            }
+            println!("  | max scale @99.9%: {max_ok:.2}");
+            if scheme.name() == "ARROW" {
+                arrow_at_999 = max_ok;
+            } else if scheme.name() != "ARROW-Naive" {
+                // The gain headline compares against the non-restoration
+                // baselines, as in the abstract; ARROW-Naive appears in
+                // Table 5 separately.
+                best_other_at_999 = best_other_at_999.max(max_ok);
+            }
+        }
+        let gain = if best_other_at_999 > 0.0 { arrow_at_999 / best_other_at_999 } else { f64::NAN };
+        println!("[{topo}] ARROW gain over best baseline @99.9%: {gain:.2}x");
+        headline.push(format!("{topo} {gain:.2}x"));
+    }
+    summary(
+        "fig13",
+        "ARROW supports 2.0x-2.4x more demand at high availability",
+        &format!("ARROW demand-scale gain @99.9%: {}", headline.join(", ")),
+    );
+}

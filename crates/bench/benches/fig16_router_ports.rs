@@ -1,0 +1,77 @@
+//! Fig. 16 — router ports required to sustain the same availability-
+//! guaranteed throughput (β = 99.9%), normalized to a hypothetical *Fully
+//! Restorable TE* that restores every failure completely.
+//!
+//! Paper (Facebook): ARROW needs only 1.5× the fully-restorable baseline,
+//! vs TeaVaR 4.1×, FFC-1 5.2×, FFC-2 311×; i.e. ARROW needs ~2.8× fewer
+//! ports than the best failure-aware TE.
+
+use arrow_bench::{banner, schemes, setup_by_name, summary};
+use arrow_te::eval::{required_router_ports, PlaybackConfig};
+use arrow_te::{MaxFlow, RestorationTicket, SchemeOutput, TeScheme, TicketSet};
+
+fn main() {
+    banner(
+        "fig16",
+        "router ports needed at equal availability-guaranteed throughput",
+        "Fig. 16: ARROW 1.5x of fully-restorable; TeaVaR 4.1x; FFC-1 5.2x",
+    );
+    let beta = 0.999;
+    let cfg = PlaybackConfig::default();
+    for topo in ["B4", "IBM"] {
+        let s = setup_by_name(topo);
+        let inst = s.instances[0].scaled(1.0);
+        // Fully Restorable TE: failure-oblivious allocation + complete
+        // restoration of every failed link in every scenario.
+        let full_plan: Vec<RestorationTicket> = inst
+            .scenarios
+            .iter()
+            .map(|q| RestorationTicket {
+                restored: q
+                    .failed_links
+                    .iter()
+                    .map(|&l| (l, inst.wan.link(l).capacity_gbps))
+                    .collect(),
+            })
+            .collect();
+        let mf = MaxFlow::default().solve(&inst);
+        let fully_restorable = SchemeOutput {
+            alloc: mf.alloc.clone(),
+            restoration: Some(full_plan.clone()),
+        };
+        let baseline = required_router_ports(&inst, &fully_restorable, beta, &cfg);
+        println!("\n[{topo}] fully-restorable baseline CAP/AGT: {baseline:.0}");
+        println!("{:<14} {:>14} {:>20}", "scheme", "ports (CAP/AGT)", "vs fully restorable");
+        let mut arrow_ratio = 0.0;
+        let mut best_other = f64::INFINITY;
+        // ARROW uses its winning tickets; baselines restore nothing.
+        let _ = TicketSet::none(0);
+        for scheme in schemes(&s) {
+            let out = scheme.solve(&inst);
+            let ports = required_router_ports(&inst, &out, beta, &cfg);
+            let ratio = ports / baseline;
+            println!("{:<14} {:>14.0} {:>19.2}x", scheme.name(), ports, ratio);
+            if scheme.name() == "ARROW" {
+                arrow_ratio = ratio;
+            } else if scheme.name() != "ECMP" && scheme.name() != "ARROW-Naive" {
+                // "Failure-aware TE" = the non-restoration baselines
+                // (TeaVaR, FFC); ARROW-Naive is a restoration scheme.
+                best_other = best_other.min(ratio);
+            }
+        }
+        println!(
+            "[{topo}] ARROW vs best failure-aware TE: {:.2}x fewer ports",
+            best_other / arrow_ratio.max(1e-9)
+        );
+        if topo == "B4" {
+            summary(
+                "fig16",
+                "ARROW 1.5x of fully-restorable; needs ~2.8x fewer ports than best TE",
+                &format!(
+                    "ARROW {arrow_ratio:.2}x of fully-restorable; {:.2}x fewer ports than best failure-aware TE",
+                    best_other / arrow_ratio.max(1e-9)
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 19 — number of ROADMs that must be reconfigured per fiber cut,
+//! split into add/drop vs intermediate (Appendix A.6).
+//!
+//! Paper: for 80% of cuts, ≤10 add/drop and ≤6 intermediate ROADMs.
+
+use arrow_bench::{banner, print_cdf, summary};
+use arrow_optical::{roadm_reconfig_count, FiberId, RwaConfig};
+use arrow_topology::facebook_like;
+
+fn main() {
+    banner(
+        "fig19",
+        "ROADM reconfiguration counts per fiber cut (Facebook-like)",
+        "Fig. 19: p80 add/drop ≤ 10, p80 intermediate ≤ 6",
+    );
+    let wan = facebook_like(17);
+    let cfg = RwaConfig::default();
+    let mut add_drop = Vec::new();
+    let mut intermediate = Vec::new();
+    for f in 0..wan.optical.num_fibers() {
+        if wan.optical.affected_lightpaths(&[FiberId(f)]).is_empty() {
+            continue;
+        }
+        let c = roadm_reconfig_count(&wan.optical, FiberId(f), &cfg);
+        add_drop.push(c.add_drop as f64);
+        intermediate.push(c.intermediate as f64);
+    }
+    print_cdf("add/drop ROADMs per cut", &add_drop, 10);
+    print_cdf("intermediate ROADMs per cut", &intermediate, 10);
+    let p80 = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[((s.len() - 1) as f64 * 0.8) as usize]
+    };
+    summary(
+        "fig19",
+        "80% of cuts: ≤10 add/drop, ≤6 intermediate",
+        &format!(
+            "p80 add/drop {:.0}, p80 intermediate {:.0} across {} cuts",
+            p80(&add_drop),
+            p80(&intermediate),
+            add_drop.len()
+        ),
+    );
+}

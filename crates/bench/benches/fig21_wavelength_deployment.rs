@@ -1,0 +1,26 @@
+//! Fig. 21 — monthly wavelength deployments (Nov 2019 – Apr 2021), with
+//! the COVID-19 surge from March 2020.
+
+use arrow_bench::{banner, summary};
+use arrow_topology::telemetry::monthly_wavelength_deployments;
+
+fn main() {
+    banner(
+        "fig21",
+        "monthly wavelength deployments",
+        "Fig. 21: visible surge starting March 2020 (month 5 of the window)",
+    );
+    let months = 18; // Nov 2019 .. Apr 2021
+    let series = monthly_wavelength_deployments(months, 5, 3);
+    for (m, count) in series.iter().enumerate() {
+        let bar = "#".repeat(count / 12);
+        println!("  month {:>2}: {:>4} {}", m + 1, count, bar);
+    }
+    let before: f64 = series[..5].iter().sum::<usize>() as f64 / 5.0;
+    let after: f64 = series[5..].iter().sum::<usize>() as f64 / (months - 5) as f64;
+    summary(
+        "fig21",
+        "deployments increase markedly after the surge month",
+        &format!("mean {:.0}/month before vs {:.0}/month after ({:.1}x)", before, after, after / before),
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 22 — the IP↔optical mapping distributions guiding IP-layer
+//! generation: (a) IP links per fiber, (b) wavelengths per IP link.
+//!
+//! Paper: the IP topology is denser than the optical topology; most IP
+//! links carry a handful of wavelengths with a heavy tail.
+
+use arrow_bench::{banner, print_cdf, summary};
+use arrow_topology::facebook_like;
+
+fn main() {
+    banner(
+        "fig22",
+        "IP links per fiber and wavelengths per IP link (Facebook-like)",
+        "Fig. 22: dense IP layer over sparse optical layer",
+    );
+    let wan = facebook_like(17);
+    let per_fiber: Vec<f64> = wan.ip_links_per_fiber().iter().map(|&c| c as f64).collect();
+    let per_link: Vec<f64> = wan.wavelengths_per_link().iter().map(|&c| c as f64).collect();
+    print_cdf("IP links per fiber", &per_fiber, 10);
+    print_cdf("wavelengths per IP link", &per_link, 10);
+    let mean_lpf = per_fiber.iter().sum::<f64>() / per_fiber.len() as f64;
+    let mean_wpl = per_link.iter().sum::<f64>() / per_link.len() as f64;
+    summary(
+        "fig22",
+        "IP layer denser than optical; wavelength counts heavy-tailed",
+        &format!(
+            "mean {:.1} IP links/fiber ({} links over {} fibers); mean {:.1} λ/IP link (max {:.0})",
+            mean_lpf,
+            wan.num_links(),
+            wan.optical.num_fibers(),
+            mean_wpl,
+            per_link.iter().fold(0.0f64, |a, &b| a.max(b)),
+        ),
+    );
+}

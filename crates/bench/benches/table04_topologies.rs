@@ -1,0 +1,46 @@
+//! Table 4 — the simulation topologies.
+//!
+//! Paper: Facebook 34/84 routers/ROADMs, 156 fibers, 262 IP links, 12 TMs;
+//! IBM 17/17, 23, 85, 30; B4 12/12, 19, 52, 30.
+
+use arrow_bench::{banner, summary};
+use arrow_topology::{b4, facebook_like, ibm};
+
+fn main() {
+    banner("table04", "network topologies used in the simulations", "Table 4");
+    println!(
+        "{:<10} {:>16} {:>8} {:>9} {:>10}",
+        "topology", "routers/ROADMs", "fibers", "IP links", "paper TMs"
+    );
+    let rows = [
+        (facebook_like(17), 12),
+        (ibm(17), 30),
+        (b4(17), 30),
+    ];
+    let mut measured = Vec::new();
+    for (wan, tms) in &rows {
+        println!(
+            "{:<10} {:>8}/{:<7} {:>8} {:>9} {:>10}",
+            wan.name,
+            wan.num_sites(),
+            wan.optical.num_roadms(),
+            wan.optical.num_fibers(),
+            wan.num_links(),
+            tms
+        );
+        measured.push(format!(
+            "{} {}/{}/{}/{}",
+            wan.name,
+            wan.num_sites(),
+            wan.optical.num_roadms(),
+            wan.optical.num_fibers(),
+            wan.num_links()
+        ));
+        wan.validate().expect("cross-layer mapping must be consistent");
+    }
+    summary(
+        "table04",
+        "FB 34/84/156/262; IBM 17/17/23/85; B4 12/12/19/52",
+        &measured.join("; "),
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 6 — terrestrial long-haul transponder spec sheet: datarate vs
+//! reach, and the modulation decisions it drives (Appendix A.1).
+
+use arrow_bench::{banner, summary};
+use arrow_optical::ModulationTable;
+
+fn main() {
+    banner("table06", "transponder datarate vs reach ladder", "Table 6");
+    let t = ModulationTable::default();
+    println!("{:>16} {:>12}", "datarate (Gbps)", "reach (km)");
+    for row in t.rows() {
+        println!("{:>16.0} {:>12.0}", row.gbps, row.reach_km);
+    }
+    println!("\nderived modulation decisions:");
+    for km in [800.0, 1200.0, 2000.0, 4000.0, 5500.0] {
+        println!(
+            "  {:>6.0} km path -> max datarate {:?} Gbps",
+            km,
+            t.max_gbps_for_length(km)
+        );
+    }
+    let ok = t.rows().len() == 4
+        && t.max_gbps_for_length(1000.0) == Some(400.0)
+        && t.max_gbps_for_length(5000.0) == Some(100.0)
+        && t.max_gbps_for_length(5001.0).is_none();
+    summary(
+        "table06",
+        "400G/1000km 300G/1500km 200G/3000km 100G/5000km",
+        if ok { "ladder matches exactly" } else { "MISMATCH" },
+    );
+    assert!(ok);
+}

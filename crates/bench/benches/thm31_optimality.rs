@@ -1,0 +1,71 @@
+//! Theorem 3.1 — ARROW's probabilistic optimality guarantee
+//! `ρ^q = 1 − (1 − κ)^{|Z^q|}`, validated against a Monte-Carlo simulation
+//! of Algorithm 1's randomized rounding.
+
+use arrow_bench::{banner, summary};
+use arrow_core::{kappa, optimality_probability, tickets_for_target, LinkRounding, RoundDirection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner(
+        "thm31",
+        "probabilistic optimality: analytic rho vs Monte-Carlo",
+        "Theorem 3.1 / Appendix A.3",
+    );
+    let delta = 2usize;
+    let links = [
+        LinkRounding { lambda: 2.3, direction: RoundDirection::Up },
+        LinkRounding { lambda: 1.7, direction: RoundDirection::Down },
+    ];
+    let k = kappa(delta, &links);
+    println!("two failed links, δ = {delta}: κ = {k:.4}\n");
+    println!("{:>6} {:>14} {:>14}", "|Z|", "analytic rho", "monte-carlo");
+    let mut rng = StdRng::seed_from_u64(2024);
+    let trials = 40_000;
+    let mut worst_gap = 0.0f64;
+    for z in [1usize, 2, 5, 10, 20, 50] {
+        let analytic = optimality_probability(k, z);
+        // Empirical: draw z tickets; success if any reproduces the optimal
+        // (direction, stride=1) event on both links.
+        let mut hits = 0;
+        for _ in 0..trials {
+            let mut any = false;
+            for _ in 0..z {
+                let mut ok = true;
+                for l in &links {
+                    let x1 = rng.gen_range(1..=delta);
+                    let x2: f64 = rng.gen_range(0.0..1.0);
+                    let frac = l.lambda - l.lambda.floor();
+                    let up = x2 < frac;
+                    let want_up = matches!(l.direction, RoundDirection::Up);
+                    if up != want_up || x1 != 1 {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    any = true;
+                    break;
+                }
+            }
+            if any {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / trials as f64;
+        worst_gap = worst_gap.max((analytic - empirical).abs());
+        println!("{:>6} {:>14.4} {:>14.4}", z, analytic, empirical);
+    }
+    println!(
+        "\ntickets needed for rho >= 0.95: {:?}; for rho >= 0.99: {:?}",
+        tickets_for_target(k, 0.95),
+        tickets_for_target(k, 0.99)
+    );
+    summary(
+        "thm31",
+        "rho = 1-(1-kappa)^|Z| matches the rounding process",
+        &format!("max |analytic - empirical| = {worst_gap:.4} over 40k trials"),
+    );
+    assert!(worst_gap < 0.02);
+}

@@ -1,0 +1,236 @@
+//! The ARROW controller: the end-to-end pipeline of Fig. 8.
+//!
+//! **Offline stage** (runs when the IP/optical mapping changes, not per TE
+//! epoch): enumerate failure scenarios, solve the RWA relaxation per
+//! scenario, and generate LotteryTickets by randomized rounding
+//! ([`crate::lottery`]).
+//!
+//! **Online stage** (every TE epoch, e.g. five minutes): take the current
+//! traffic matrix, solve Phase I to pick the winning ticket per scenario,
+//! solve Phase II for tunnel allocations, derive router splitting ratios
+//! `ω_{f,t}`, and compile each winning ticket into concrete ROADM
+//! reconfiguration rules (which wavelengths move onto which surrogate
+//! fibers) ready to install so the network reacts in seconds when a cut
+//! actually happens (§5).
+
+use crate::lottery::{generate_tickets, LotteryConfig};
+use arrow_optical::rwa::greedy_assign;
+use arrow_optical::FiberPath;
+use arrow_te::schemes::arrow::{Arrow, ArrowOutcome};
+use arrow_te::tunnels::{build_instance, TeInstance, TunnelConfig};
+use arrow_te::{RestorationTicket, TicketSet};
+use arrow_topology::{FailureScenario, TrafficMatrix, Wan};
+
+/// Wavelength-reconfiguration rules for one failure scenario, installable
+/// on the ROADMs ahead of time.
+#[derive(Debug, Clone)]
+pub struct ReconfigRule {
+    /// Index of the scenario this rule serves.
+    pub scenario: usize,
+    /// The lightpath (failed IP link) being restored.
+    pub lightpath: arrow_optical::LightpathId,
+    /// Surrogate routes: `(fiber path, spectrum slots to occupy)`.
+    pub routes: Vec<(FiberPath, Vec<usize>)>,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// LotteryTicket generation settings (offline stage).
+    pub lottery: LotteryConfig,
+    /// Tunnel selection settings.
+    pub tunnels: TunnelConfig,
+    /// Phase-I slack budget α.
+    pub alpha: f64,
+    /// LP solver settings for the online stage.
+    pub solver: arrow_lp::SolverConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            lottery: LotteryConfig::default(),
+            tunnels: TunnelConfig::default(),
+            alpha: 0.1,
+            solver: arrow_lp::SolverConfig::default(),
+        }
+    }
+}
+
+/// The offline-stage product: scenarios plus their LotteryTickets.
+#[derive(Debug, Clone)]
+pub struct OfflineState {
+    /// Failure scenarios under consideration.
+    pub scenarios: Vec<FailureScenario>,
+    /// LotteryTickets per scenario.
+    pub tickets: TicketSet,
+}
+
+/// The online-stage product for one TE epoch.
+#[derive(Debug, Clone)]
+pub struct TePlan {
+    /// Full ARROW outcome (allocation, winning tickets, timings).
+    pub outcome: ArrowOutcome,
+    /// Per-flow splitting ratios `ω_{f,t}` ready for router installation.
+    pub splitting_ratios: Vec<Vec<(arrow_te::TunnelId, f64)>>,
+    /// ROADM reconfiguration rules per scenario, realizing each winning
+    /// ticket in the optical domain.
+    pub reconfig_rules: Vec<ReconfigRule>,
+    /// The instance the plan was computed against.
+    pub instance: TeInstance,
+}
+
+/// The ARROW controller.
+#[derive(Debug, Clone)]
+pub struct ArrowController {
+    /// The WAN under control.
+    pub wan: Wan,
+    /// Controller settings.
+    pub config: ControllerConfig,
+    offline: OfflineState,
+}
+
+impl ArrowController {
+    /// Runs the offline stage: ticket generation for the given scenarios.
+    pub fn new(wan: Wan, scenarios: Vec<FailureScenario>, config: ControllerConfig) -> Self {
+        let tickets = generate_tickets(&wan, &scenarios, &config.lottery);
+        ArrowController { offline: OfflineState { scenarios, tickets }, wan, config }
+    }
+
+    /// The offline state (scenarios + tickets).
+    pub fn offline(&self) -> &OfflineState {
+        &self.offline
+    }
+
+    /// Runs one online TE epoch for the current traffic matrix.
+    pub fn plan(&self, tm: &TrafficMatrix) -> TePlan {
+        let instance =
+            build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
+        let arrow = Arrow {
+            tickets: self.offline.tickets.clone(),
+            alpha: self.config.alpha,
+            solver: self.config.solver.clone(),
+        };
+        let outcome = arrow.solve_detailed(&instance);
+        let splitting_ratios = (0..instance.flows.len())
+            .map(|f| outcome.output.alloc.splitting_ratios(&instance, arrow_te::FlowId(f)))
+            .collect();
+        let reconfig_rules = self.compile_rules(
+            outcome
+                .output
+                .restoration
+                .as_ref()
+                .expect("ARROW always returns a restoration plan"),
+        );
+        TePlan { outcome, splitting_ratios, reconfig_rules, instance }
+    }
+
+    /// Compiles winning tickets into per-scenario ROADM rules by running
+    /// the exact greedy wavelength assigner against each ticket's targets.
+    fn compile_rules(&self, plan: &[RestorationTicket]) -> Vec<ReconfigRule> {
+        let mut rules = Vec::new();
+        for (qi, (scen, ticket)) in self.offline.scenarios.iter().zip(plan).enumerate() {
+            let targets: Vec<_> = ticket
+                .restored
+                .iter()
+                .filter_map(|&(link, gbps)| {
+                    let lp_id = self.wan.link(link).lightpath;
+                    let per = self.wan.optical.lightpath(lp_id).gbps_per_wavelength;
+                    let waves = (gbps / per).round() as usize;
+                    (waves > 0).then_some((lp_id, waves))
+                })
+                .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let assigns = greedy_assign(
+                &self.wan.optical,
+                &scen.cut_fibers,
+                &self.config.lottery.rwa,
+                Some(&targets),
+            );
+            for a in assigns {
+                if a.routes.is_empty() {
+                    continue;
+                }
+                rules.push(ReconfigRule {
+                    scenario: qi,
+                    lightpath: a.lightpath,
+                    routes: a.routes,
+                });
+            }
+        }
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_topology::{b4, generate_failures, gravity_matrices, FailureConfig, TrafficConfig};
+
+    fn controller() -> (ArrowController, TrafficMatrix) {
+        let wan = b4(17);
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios: 5, ..Default::default() });
+        let tms =
+            gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+        let cfg = ControllerConfig {
+            lottery: LotteryConfig { num_tickets: 8, ..Default::default() },
+            tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+            ..Default::default()
+        };
+        (
+            ArrowController::new(wan, failures.failure_scenarios().to_vec(), cfg),
+            tms[0].clone(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_plan_is_consistent() {
+        let (ctl, tm) = controller();
+        let plan = ctl.plan(&tm.scaled(2.0));
+        // Winning tickets exist for every scenario.
+        assert_eq!(plan.outcome.winning.len(), ctl.offline().scenarios.len());
+        // Splitting ratios normalize per flow.
+        for ratios in &plan.splitting_ratios {
+            let sum: f64 = ratios.iter().map(|(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // Reconfig rules only restore lightpaths actually failed in their
+        // scenario, onto surrogate paths avoiding the cut fibers.
+        for rule in &plan.reconfig_rules {
+            let scen = &ctl.offline().scenarios[rule.scenario];
+            let affected = ctl.wan.optical.affected_lightpaths(&scen.cut_fibers);
+            assert!(affected.contains(&rule.lightpath));
+            for (path, slots) in &rule.routes {
+                assert!(!slots.is_empty());
+                for f in &path.fibers {
+                    assert!(!scen.cut_fibers.contains(f), "route uses a cut fiber");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offline_state_reused_across_epochs() {
+        let (ctl, tm) = controller();
+        let p1 = ctl.plan(&tm);
+        let p2 = ctl.plan(&tm.scaled(1.5));
+        // Same scenarios and tickets; different demands may change winners.
+        assert_eq!(p1.outcome.winning.len(), p2.outcome.winning.len());
+        assert!(p1.outcome.output.alloc.total_admitted() > 0.0);
+        assert!(p2.outcome.output.alloc.total_admitted() > 0.0);
+    }
+
+    #[test]
+    fn rules_respect_wavelength_counts() {
+        let (ctl, tm) = controller();
+        let plan = ctl.plan(&tm.scaled(3.0));
+        for rule in &plan.reconfig_rules {
+            let assigned: usize = rule.routes.iter().map(|(_, s)| s.len()).sum();
+            let lost = ctl.wan.optical.lightpath(rule.lightpath).wavelength_count();
+            assert!(assigned <= lost, "restored more wavelengths than lost");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # arrow-core — the paper's primary contribution
+//!
+//! ARROW's restoration-aware control plane (Fig. 8): the **LotteryTicket**
+//! abstraction between the optical layer and the TE (§3.2), the Algorithm-1
+//! randomized-rounding generator seeded by the relaxed RWA, the feasibility
+//! filter, the Theorem 3.1 probabilistic-optimality calculator, and the
+//! [`controller::ArrowController`] tying the offline stage (tickets) to the
+//! online stage (two-phase TE, splitting ratios, ROADM reconfiguration
+//! rules).
+//!
+//! The pieces compose like the paper's system diagram:
+//!
+//! ```text
+//! IP/optical mapping ──► RWA relaxation ──► randomized rounding ──► LotteryTickets
+//!                                                                       │ (offline)
+//! traffic matrix ──► Phase I (pick winner) ──► Phase II (allocate) ──► ω_{f,t} + Z*
+//!                                                                       │ (online)
+//!                                              Z* ──► ROADM reconfiguration rules
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod lottery;
+pub mod theorem;
+
+pub use controller::{ArrowController, ControllerConfig, ReconfigRule, TePlan};
+pub use lottery::{fractional_seed, generate_tickets, naive_ticket, realize_ticket, FractionalRestoration, LotteryConfig};
+pub use theorem::{kappa, optimality_probability, tickets_for_target, LinkRounding, RoundDirection};

@@ -1,0 +1,395 @@
+//! Algorithm 1: LotteryTicket generation by randomized rounding.
+//!
+//! For each fiber-cut scenario the relaxed RWA (Appendix A.2) yields a
+//! *fractional* number of restorable wavelengths `λ_e` per failed IP link.
+//! Each LotteryTicket is built by rounding those fractions randomly:
+//!
+//! 1. pick a rounding stride `x₁ ∈ {1, …, δ}` uniformly (line 6);
+//! 2. round **up** to `min(⌈λ⌉ + x₁, γ_e)` with probability equal to the
+//!    fractional part, else **down** to `max(⌊λ⌋ − x₁, 0)` (lines 7–11);
+//! 3. convert wavelengths to Gbps via the link's modulation (line 12).
+//!
+//! Integer `λ_e` would leave zero probability of exploring neighbours, so
+//! per Appendix A.2 the probabilities become 0.3 round-up / 0.3 round-down
+//! / 0.4 keep.
+//!
+//! Randomly rounded tickets may over-ask the optical layer, so a
+//! feasibility filter (greedy exact assignment, §3.2 "Handling
+//! LotteryTickets' feasibility") drops unrealizable tickets. Every
+//! scenario additionally receives the *naive* ticket — the greedy exact
+//! realization of the RWA optimum — so at least one feasible candidate
+//! always exists (this is also exactly ARROW-Naive's plan).
+
+use arrow_optical::rwa::{greedy_assign, is_feasible, solve_relaxed, RwaConfig};
+use arrow_te::restoration::{RestorationTicket, TicketSet};
+use arrow_topology::{FailureScenario, Wan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct LotteryConfig {
+    /// Number of LotteryTickets |Z| per scenario (before filtering; §6 uses
+    /// 80/90/120 for B4/IBM/Facebook).
+    pub num_tickets: usize,
+    /// Maximum rounding stride δ.
+    pub delta: usize,
+    /// Drop tickets that the optical layer cannot realize.
+    pub feasibility_filter: bool,
+    /// Deduplicate identical tickets (pure LP-size optimization; the
+    /// duplicate would add identical constraints).
+    pub dedupe: bool,
+    /// Always include the greedy RWA-optimal ("naive") candidate in every
+    /// scenario's set. Algorithm 1 as printed generates only rounded
+    /// tickets — that is what produces Fig. 14's fluctuation at small |Z|
+    /// — so this defaults to `false`; the naive candidate is still used as
+    /// a fallback when the feasibility filter rejects every rounded
+    /// ticket (the paper leaves that corner case unspecified).
+    pub include_naive: bool,
+    /// RWA settings (surrogate paths, retuning, modulation).
+    pub rwa: RwaConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LotteryConfig {
+    fn default() -> Self {
+        LotteryConfig {
+            num_tickets: 20,
+            delta: 2,
+            feasibility_filter: true,
+            dedupe: true,
+            include_naive: false,
+            // Per Appendix A.1 the RWA keeps the current modulation when
+            // the surrogate path's length permits and otherwise steps down
+            // to the best alternative — without this, high-rate links
+            // whose reach is short would be unrestorable.
+            rwa: RwaConfig { allow_modulation_change: true, ..RwaConfig::default() },
+            seed: 41,
+        }
+    }
+}
+
+/// Per-link fractional seed from the RWA used by the rounding loop.
+#[derive(Debug, Clone)]
+pub struct FractionalRestoration {
+    /// The failed IP link.
+    pub link: arrow_topology::IpLinkId,
+    /// Fractional restorable wavelengths `λ_e`.
+    pub wavelengths: f64,
+    /// Wavelengths lost (`γ_e`, the rounding cap).
+    pub lost_wavelengths: usize,
+    /// Effective Gbps per restored wavelength (modulation).
+    pub gbps_per_wavelength: f64,
+}
+
+/// Solves the RWA relaxation for one scenario and maps the result onto IP
+/// links. Links whose lightpath has no surrogate path get `λ_e = 0`.
+pub fn fractional_seed(wan: &Wan, scenario: &FailureScenario, rwa: &RwaConfig) -> Vec<FractionalRestoration> {
+    let sol = solve_relaxed(&wan.optical, &scenario.cut_fibers, rwa);
+    sol.links
+        .iter()
+        .filter_map(|l| {
+            let link = wan.link_of_lightpath(l.lightpath)?;
+            Some(FractionalRestoration {
+                link,
+                wavelengths: l.wavelengths,
+                lost_wavelengths: l.lost_wavelengths,
+                gbps_per_wavelength: l.gbps_per_wavelength,
+            })
+        })
+        .collect()
+}
+
+/// The greedy exact realization of the RWA optimum — ARROW-Naive's single
+/// restoration candidate for the scenario.
+pub fn naive_ticket(wan: &Wan, scenario: &FailureScenario, rwa: &RwaConfig) -> RestorationTicket {
+    let assigns = greedy_assign(&wan.optical, &scenario.cut_fibers, rwa, None);
+    RestorationTicket {
+        restored: assigns
+            .iter()
+            .filter_map(|a| {
+                let link = wan.link_of_lightpath(a.lightpath)?;
+                Some((link, a.restored_gbps()))
+            })
+            .collect(),
+    }
+}
+
+/// The optically-realized version of a ticket: run the exact greedy
+/// assigner against the ticket's per-link wavelength targets and report
+/// what the hardware can actually deliver.
+///
+/// Feasible tickets realize exactly; tickets that over-promise (e.g. when
+/// the feasibility filter was disabled) realize to less. Playback grounded
+/// in realized tickets never credits capacity the ROADMs cannot switch.
+pub fn realize_ticket(
+    wan: &Wan,
+    scenario: &FailureScenario,
+    ticket: &RestorationTicket,
+    rwa: &RwaConfig,
+) -> RestorationTicket {
+    // Greedy-assign as many wavelengths as the optical layer permits, then
+    // cap each link at the ticket's promise. Conservative: under heavy
+    // spectrum contention a realizable-but-unbalanced promise may realize
+    // below its paper value, never above it.
+    let assigns = greedy_assign(&wan.optical, &scenario.cut_fibers, rwa, None);
+    RestorationTicket {
+        restored: ticket
+            .restored
+            .iter()
+            .map(|&(link, promised)| {
+                let lp_id = wan.link(link).lightpath;
+                let got = assigns
+                    .iter()
+                    .find(|a| a.lightpath == lp_id)
+                    .map(|a| a.restored_gbps())
+                    .unwrap_or(0.0);
+                (link, got.min(promised))
+            })
+            .collect(),
+    }
+}
+
+/// Rounds one fractional seed into integer wavelength counts (lines 4–11).
+fn round_once(rng: &mut StdRng, seed: &[FractionalRestoration], delta: usize) -> Vec<usize> {
+    seed.iter()
+        .map(|f| {
+            let lambda = f.wavelengths;
+            let floor = lambda.floor();
+            let frac = lambda - floor;
+            let x1 = rng.gen_range(1..=delta.max(1)) as f64;
+            let x2: f64 = rng.gen_range(0.0..1.0);
+            let rounded = if frac > 1e-9 {
+                if x2 < frac {
+                    (lambda.ceil() + x1).min(f.lost_wavelengths as f64)
+                } else {
+                    (floor - x1).max(0.0)
+                }
+            } else {
+                // Non-fractional λ: 0.3 up / 0.3 down / 0.4 keep (App. A.2).
+                if x2 < 0.3 {
+                    (lambda + x1).min(f.lost_wavelengths as f64)
+                } else if x2 < 0.6 {
+                    (lambda - x1).max(0.0)
+                } else {
+                    lambda
+                }
+            };
+            rounded as usize
+        })
+        .collect()
+}
+
+/// Generates the LotteryTicket set for every scenario (Algorithm 1 applied
+/// per scenario, plus the always-feasible naive ticket).
+pub fn generate_tickets(
+    wan: &Wan,
+    scenarios: &[FailureScenario],
+    cfg: &LotteryConfig,
+) -> TicketSet {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let per_scenario = scenarios
+        .iter()
+        .map(|scen| {
+            let seed = fractional_seed(wan, scen, &cfg.rwa);
+            let mut tickets: Vec<RestorationTicket> = Vec::new();
+            if cfg.include_naive {
+                tickets.push(naive_ticket(wan, scen, &cfg.rwa));
+            }
+            for _ in tickets.len()..cfg.num_tickets {
+                let counts = round_once(&mut rng, &seed, cfg.delta);
+                if cfg.feasibility_filter {
+                    let targets: Vec<_> = seed
+                        .iter()
+                        .zip(&counts)
+                        .map(|(f, &c)| (wan.link(f.link).lightpath, c))
+                        .collect();
+                    if !is_feasible(&wan.optical, &scen.cut_fibers, &cfg.rwa, &targets) {
+                        continue;
+                    }
+                }
+                let ticket = RestorationTicket {
+                    restored: seed
+                        .iter()
+                        .zip(&counts)
+                        .map(|(f, &c)| (f.link, c as f64 * f.gbps_per_wavelength))
+                        .collect(),
+                };
+                if !cfg.dedupe || !tickets.contains(&ticket) {
+                    tickets.push(ticket);
+                }
+            }
+            if tickets.is_empty() {
+                // Every rounded candidate was infeasible: fall back to the
+                // always-realizable greedy candidate so the TE has one.
+                tickets.push(naive_ticket(wan, scen, &cfg.rwa));
+            }
+            tickets
+        })
+        .collect();
+    TicketSet { per_scenario }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_topology::{b4, generate_failures, FailureConfig};
+
+    fn setup() -> (Wan, Vec<FailureScenario>) {
+        let wan = b4(17);
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios: 5, ..Default::default() });
+        (wan, failures.failure_scenarios().to_vec())
+    }
+
+    #[test]
+    fn every_scenario_gets_at_least_the_naive_ticket() {
+        let (wan, scens) = setup();
+        let set = generate_tickets(&wan, &scens, &LotteryConfig::default());
+        assert_eq!(set.per_scenario.len(), scens.len());
+        for tickets in &set.per_scenario {
+            assert!(!tickets.is_empty());
+        }
+    }
+
+    #[test]
+    fn tickets_respect_gamma_bounds() {
+        let (wan, scens) = setup();
+        let cfg = LotteryConfig { num_tickets: 30, ..Default::default() };
+        let set = generate_tickets(&wan, &scens, &cfg);
+        for (scen, tickets) in scens.iter().zip(&set.per_scenario) {
+            for t in tickets {
+                for &(link, gbps) in &t.restored {
+                    assert!(scen.failed_links.contains(&link), "ticket names a healthy link");
+                    let cap = wan.link(link).capacity_gbps;
+                    assert!(
+                        gbps <= cap + 1e-6,
+                        "restored {gbps} exceeds lost capacity {cap}"
+                    );
+                    assert!(gbps >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_explores_distinct_candidates() {
+        let (wan, scens) = setup();
+        let cfg = LotteryConfig { num_tickets: 40, feasibility_filter: false, ..Default::default() };
+        let set = generate_tickets(&wan, &scens, &cfg);
+        // At least one scenario with a fractional/partial seed should
+        // produce several distinct tickets.
+        let max_distinct = set.per_scenario.iter().map(|t| t.len()).max().unwrap();
+        assert!(max_distinct >= 3, "rounding produced {max_distinct} distinct tickets");
+    }
+
+    #[test]
+    fn filtered_tickets_are_realizable() {
+        let (wan, scens) = setup();
+        let cfg = LotteryConfig { num_tickets: 25, ..Default::default() };
+        let set = generate_tickets(&wan, &scens, &cfg);
+        for (scen, tickets) in scens.iter().zip(&set.per_scenario) {
+            for t in tickets {
+                // Re-check realizability via the same filter.
+                let targets: Vec<_> = t
+                    .restored
+                    .iter()
+                    .map(|&(l, g)| {
+                        let lp = wan.link(l).lightpath;
+                        let gbps_per_wl =
+                            wan.optical.lightpath(lp).gbps_per_wavelength;
+                        (lp, (g / gbps_per_wl).round() as usize)
+                    })
+                    .collect();
+                assert!(
+                    is_feasible(&wan.optical, &scen.cut_fibers, &cfg.rwa, &targets),
+                    "an infeasible ticket survived the filter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (wan, scens) = setup();
+        let cfg = LotteryConfig::default();
+        let a = generate_tickets(&wan, &scens, &cfg);
+        let b = generate_tickets(&wan, &scens, &cfg);
+        for (ta, tb) in a.per_scenario.iter().zip(&b.per_scenario) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn naive_ticket_matches_greedy_assignment() {
+        let (wan, scens) = setup();
+        let t = naive_ticket(&wan, &scens[0], &RwaConfig::default());
+        // Every restored link is a failed link, and capacity is integral
+        // wavelengths × modulation.
+        for &(link, gbps) in &t.restored {
+            assert!(scens[0].failed_links.contains(&link));
+            let lp = wan.optical.lightpath(wan.link(link).lightpath);
+            let per = lp.gbps_per_wavelength;
+            let waves = gbps / per;
+            assert!((waves - waves.round()).abs() < 1e-9, "non-integral wavelengths");
+        }
+    }
+
+    #[test]
+    fn realize_ticket_grounds_over_promises() {
+        let (wan, scens) = setup();
+        let cfg = LotteryConfig::default();
+        // A ticket demanding full capacity on every failed link usually
+        // over-promises; its realization must not exceed the promise and
+        // must equal the greedy-feasible amount.
+        let scen = &scens[0];
+        let greedy_total = naive_ticket(&wan, scen, &cfg.rwa).total_gbps();
+        let over = arrow_te::RestorationTicket {
+            restored: scen
+                .failed_links
+                .iter()
+                .map(|&l| (l, wan.link(l).capacity_gbps))
+                .collect(),
+        };
+        let realized = realize_ticket(&wan, scen, &over, &cfg.rwa);
+        assert!(realized.total_gbps() <= over.total_gbps() + 1e-9);
+        // Greedy realization of "everything" is the naive plan.
+        assert!((realized.total_gbps() - greedy_total).abs() < 1e-6);
+        // A feasible ticket realizes (at least) itself.
+        let naive = naive_ticket(&wan, scen, &cfg.rwa);
+        let again = realize_ticket(&wan, scen, &naive, &cfg.rwa);
+        assert!(again.total_gbps() >= naive.total_gbps() - 1e-6);
+    }
+
+    #[test]
+    fn round_once_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seed = vec![FractionalRestoration {
+            link: arrow_topology::IpLinkId(0),
+            wavelengths: 2.4,
+            lost_wavelengths: 4,
+            gbps_per_wavelength: 100.0,
+        }];
+        for _ in 0..200 {
+            let c = round_once(&mut rng, &seed, 3);
+            assert!(c[0] <= 4, "exceeded γ_e");
+        }
+    }
+
+    #[test]
+    fn gbps_weighted_fractional_seed() {
+        let (wan, scens) = setup();
+        let seed = fractional_seed(&wan, &scens[0], &RwaConfig::default());
+        assert!(!seed.is_empty());
+        for f in &seed {
+            assert!(f.wavelengths >= -1e-9);
+            assert!(f.wavelengths <= f.lost_wavelengths as f64 + 1e-6);
+            // A link with no surrogate path restores nothing and reports a
+            // zero modulation rate; otherwise the rate must be positive.
+            if f.wavelengths > 1e-9 {
+                assert!(f.gbps_per_wavelength > 0.0);
+            }
+        }
+    }
+}

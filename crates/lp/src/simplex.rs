@@ -1,0 +1,820 @@
+//! Bounded-variable two-phase revised simplex.
+//!
+//! This is the exact solver backend: it handles general bounds `l ≤ x ≤ u`
+//! natively (no bound rows are added), runs a phase-1 with artificial
+//! variables to find a basic feasible solution, and then optimizes the real
+//! objective. The basis inverse is kept explicitly as a dense `m × m` matrix
+//! and updated with product-form pivots, which keeps the implementation
+//! simple and robust (the design priority here, per the networking guides)
+//! at the cost of `O(m²)` work per iteration. It is intended for problems up
+//! to a few thousand rows; larger instances should use [`crate::pdhg`].
+//!
+//! Implemented: Dantzig pricing with a Bland anti-cycling fallback, bound
+//! flips, periodic basis refactorization, infeasibility/unboundedness
+//! detection, and dual values. Deliberately omitted: steepest-edge pricing,
+//! sparse LU basis updates, and presolve.
+
+use crate::model::{Sense, StandardLp};
+use crate::solution::{SolveStats, Solution, Status};
+use crate::sparse::CscMatrix;
+
+/// Tunable knobs for the simplex solver.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Bound/feasibility tolerance.
+    pub feas_tol: f64,
+    /// Smallest pivot magnitude accepted during a basis change.
+    pub pivot_tol: f64,
+    /// Hard iteration limit (both phases combined). `0` means automatic
+    /// (`200 + 20 * (rows + cols)`).
+    pub max_iters: usize,
+    /// Refactorize the basis inverse from scratch every this many pivots.
+    pub refactor_every: usize,
+    /// Switch to Bland's rule after this many consecutive degenerate pivots.
+    pub degenerate_before_bland: usize,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig {
+            opt_tol: 1e-7,
+            feas_tol: 1e-7,
+            pivot_tol: 1e-9,
+            max_iters: 0,
+            refactor_every: 2000,
+            degenerate_before_bland: 400,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize), // position in basis
+    AtLower,
+    AtUpper,
+    /// Free variable currently parked at zero.
+    FreeAtZero,
+}
+
+/// Column classes: structurals come from the model, slacks encode row
+/// senses, artificials exist only to build the phase-1 starting basis.
+struct Columns<'a> {
+    a: CscMatrix,
+    n: usize,
+    m: usize,
+    /// Row index for each artificial column, parallel to indices `n + m ..`.
+    art_rows: Vec<usize>,
+    /// Sign of each artificial column's single entry.
+    art_signs: Vec<f64>,
+    lp: &'a StandardLp,
+}
+
+impl Columns<'_> {
+    fn total(&self) -> usize {
+        self.n + self.m + self.art_rows.len()
+    }
+
+    /// Iterates the sparse entries of column `j` as `(row, value)`.
+    fn for_each_entry(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.n {
+            for (i, v) in self.a.col(j) {
+                f(i, v);
+            }
+        } else if j < self.n + self.m {
+            f(j - self.n, 1.0);
+        } else {
+            let k = j - self.n - self.m;
+            f(self.art_rows[k], self.art_signs[k]);
+        }
+    }
+
+    fn dot_with(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            self.a.col_dot(j, y)
+        } else if j < self.n + self.m {
+            y[j - self.n]
+        } else {
+            let k = j - self.n - self.m;
+            self.art_signs[k] * y[self.art_rows[k]]
+        }
+    }
+}
+
+/// Solver state for one solve call.
+struct Simplex<'a> {
+    cfg: &'a SimplexConfig,
+    cols: Columns<'a>,
+    /// Lower/upper bounds for every column (structural, slack, artificial).
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    state: Vec<VarState>,
+    /// Basis: column index occupying each of the `m` basis positions.
+    basis: Vec<usize>,
+    /// Explicit dense inverse of the basis matrix, row-major `m × m`.
+    binv: Vec<f64>,
+    m: usize,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    degenerate_streak: usize,
+    /// Scratch vectors reused across iterations.
+    y: Vec<f64>,
+    w: Vec<f64>,
+}
+
+/// Outcome of one inner simplex phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterLimit,
+    /// Numerical trouble that a refactorization did not fix.
+    Stalled,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(lp: &'a StandardLp, cfg: &'a SimplexConfig) -> Self {
+        let n = lp.num_vars();
+        let m = lp.num_cons();
+        // Slack bounds encode the row sense: Ax + s = rhs.
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        for s in &lp.senses {
+            match s {
+                Sense::Le => {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                }
+                Sense::Ge => {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                }
+                Sense::Eq => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+        }
+        // Nonbasic starting point: every structural at its bound nearest zero
+        // (free variables park at zero).
+        let mut x = vec![0.0; n + m];
+        let mut state = vec![VarState::FreeAtZero; n + m];
+        for j in 0..n {
+            let (l, u) = (lb[j], ub[j]);
+            if l.is_finite() && (l.abs() <= u.abs() || !u.is_finite()) {
+                x[j] = l;
+                state[j] = VarState::AtLower;
+            } else if u.is_finite() {
+                x[j] = u;
+                state[j] = VarState::AtUpper;
+            } else {
+                x[j] = 0.0;
+                state[j] = VarState::FreeAtZero;
+            }
+        }
+        // Required slack value per row given the nonbasic point.
+        let mut resid = lp.rhs.clone();
+        for (i, r) in resid.iter_mut().enumerate() {
+            for (j, v) in lp.a.row(i) {
+                *r -= v * x[j];
+            }
+        }
+        // Basis: the row's slack where its bounds admit the residual value,
+        // otherwise park the slack at the violated (finite) bound and cover
+        // the remaining gap with a fresh artificial column.
+        let mut basis = vec![usize::MAX; m];
+        let mut gaps = Vec::new(); // (row, gap) for rows needing artificials
+        for i in 0..m {
+            let sj = n + i;
+            let clamped = resid[i].clamp(lb[sj], ub[sj]);
+            if (clamped - resid[i]).abs() <= cfg.feas_tol {
+                x[sj] = resid[i];
+                state[sj] = VarState::Basic(i);
+                basis[i] = sj;
+            } else {
+                x[sj] = clamped;
+                state[sj] = if clamped == lb[sj] { VarState::AtLower } else { VarState::AtUpper };
+                gaps.push((i, resid[i] - clamped));
+            }
+        }
+        let total = n + m + gaps.len();
+        lb.resize(total, 0.0);
+        ub.resize(total, f64::INFINITY);
+        x.resize(total, 0.0);
+        state.resize(total, VarState::AtLower);
+        let mut art_rows = Vec::with_capacity(gaps.len());
+        let mut art_signs = Vec::with_capacity(gaps.len());
+        for (k, &(i, gap)) in gaps.iter().enumerate() {
+            let j = n + m + k;
+            art_rows.push(i);
+            art_signs.push(gap.signum());
+            x[j] = gap.abs();
+            state[j] = VarState::Basic(i);
+            basis[i] = j;
+        }
+
+        // Initial basis matrix is diagonal (±1), so its inverse is too.
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            let j = basis[i];
+            let d = if j >= n + m { art_signs[j - n - m] } else { 1.0 };
+            binv[i * m + i] = 1.0 / d;
+        }
+        Simplex {
+            cfg,
+            cols: Columns { a: lp.a.to_csc(), n, m, art_rows, art_signs, lp },
+            lb,
+            ub,
+            x,
+            state,
+            basis,
+            binv,
+            m,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            degenerate_streak: 0,
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+        }
+    }
+
+    /// `y = Binv' c_B` — dual prices for the given basic costs.
+    fn compute_duals(&mut self, cost: &dyn Fn(&Self, usize) -> f64) {
+        let m = self.m;
+        self.y.fill(0.0);
+        for i in 0..m {
+            let cb = cost(self, self.basis[i]);
+            if cb == 0.0 {
+                continue;
+            }
+            for k in 0..m {
+                self.y[k] += cb * self.binv[i * m + k];
+            }
+        }
+    }
+
+    /// `w = Binv a_j` for the entering column.
+    fn compute_direction(&mut self, j: usize) {
+        let m = self.m;
+        self.w.fill(0.0);
+        // Borrow-splitting: collect the column once (columns are tiny).
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        self.cols.for_each_entry(j, |i, v| entries.push((i, v)));
+        for (i, v) in entries {
+            for k in 0..m {
+                self.w[k] += v * self.binv[k * m + i];
+            }
+        }
+    }
+
+    /// Recomputes `binv` by Gauss–Jordan elimination of the current basis and
+    /// refreshes the basic variable values. Returns `false` if the basis is
+    /// numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Build the dense basis matrix.
+        let mut mat = vec![0.0; m * m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.cols.for_each_entry(j, |i, v| mat[i * m + pos] = v);
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivoting.
+            let mut best = col;
+            let mut best_val = mat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = mat[r * m + col].abs();
+                if v > best_val {
+                    best = r;
+                    best_val = v;
+                }
+            }
+            if best_val < 1e-12 {
+                return false;
+            }
+            if best != col {
+                for k in 0..m {
+                    mat.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let piv = mat[col * m + col];
+            for k in 0..m {
+                mat[col * m + k] /= piv;
+                inv[col * m + k] /= piv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    mat[r * m + k] -= f * mat[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        // inv now maps: row-permuted... Gauss-Jordan applied to [B | I]
+        // yields [I | B^{ -1 }] with consistent row ordering, but our basis
+        // inverse must satisfy x_B[pos] ordering. `mat` became the identity,
+        // so `inv` is B^{-1} directly.
+        self.binv = inv;
+        self.refresh_basic_values();
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Recomputes basic values `x_B = Binv (rhs - N x_N)` from scratch.
+    fn refresh_basic_values(&mut self) {
+        let m = self.m;
+        let mut resid = self.cols.lp.rhs.clone();
+        for j in 0..self.cols.total() {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            self.cols.for_each_entry(j, |i, v| resid[i] -= v * xj);
+        }
+        for pos in 0..m {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += self.binv[pos * m + k] * resid[k];
+            }
+            self.x[self.basis[pos]] = acc;
+        }
+    }
+
+    /// Total bound violation of basic variables (phase-1 objective).
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for &j in &self.basis {
+            let v = self.x[j];
+            if v < self.lb[j] {
+                total += self.lb[j] - v;
+            } else if v > self.ub[j] {
+                total += v - self.ub[j];
+            }
+        }
+        total
+    }
+
+    /// Runs one simplex phase to optimality under the supplied cost
+    /// function. `cost(j)` must be cheap; it is called during pricing.
+    fn run_phase(&mut self, cost: &dyn Fn(&Self, usize) -> f64, max_iters: usize) -> PhaseEnd {
+        loop {
+            if self.iterations >= max_iters {
+                return PhaseEnd::IterLimit;
+            }
+            self.iterations += 1;
+            if self.pivots_since_refactor >= self.cfg.refactor_every && !self.refactorize() {
+                return PhaseEnd::Stalled;
+            }
+            self.compute_duals(cost);
+            let use_bland = self.degenerate_streak >= self.cfg.degenerate_before_bland;
+            // --- Pricing: pick the entering column. ---
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, reduced cost, score)
+            for j in 0..self.cols.total() {
+                let st = self.state[j];
+                if matches!(st, VarState::Basic(_)) {
+                    continue;
+                }
+                if self.ub[j] - self.lb[j] <= self.cfg.feas_tol && self.ub[j].is_finite() {
+                    continue; // fixed column can never improve
+                }
+                let d = cost(self, j) - self.cols.dot_with(j, &self.y);
+                let score = match st {
+                    VarState::AtLower if d < -self.cfg.opt_tol => -d,
+                    VarState::AtUpper if d > self.cfg.opt_tol => d,
+                    VarState::FreeAtZero if d.abs() > self.cfg.opt_tol => d.abs(),
+                    _ => continue,
+                };
+                if use_bland {
+                    enter = Some((j, d, score));
+                    break;
+                }
+                if enter.map_or(true, |(_, _, s)| score > s) {
+                    enter = Some((j, d, score));
+                }
+            }
+            let Some((j_enter, d_enter, _)) = enter else {
+                return PhaseEnd::Optimal;
+            };
+            // Direction: increasing if at lower bound (or free with d<0).
+            let sigma = match self.state[j_enter] {
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+                VarState::FreeAtZero => {
+                    if d_enter < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VarState::Basic(_) => unreachable!(),
+            };
+            self.compute_direction(j_enter);
+            // --- Ratio test. ---
+            // Entering variable's own range allows a bound flip.
+            let own_range = self.ub[j_enter] - self.lb[j_enter];
+            let mut t_max = if own_range.is_finite() { own_range } else { f64::INFINITY };
+            let mut leave: Option<(usize, bool)> = None; // (basis pos, hits_upper)
+            for pos in 0..self.m {
+                let wj = sigma * self.w[pos];
+                let bj = self.basis[pos];
+                let xb = self.x[bj];
+                if wj > self.cfg.pivot_tol {
+                    // Basic value decreases toward its lower bound.
+                    if self.lb[bj].is_finite() {
+                        let t = (xb - self.lb[bj]) / wj;
+                        if t < t_max {
+                            t_max = t;
+                            leave = Some((pos, false));
+                        }
+                    }
+                } else if wj < -self.cfg.pivot_tol {
+                    // Basic value increases toward its upper bound.
+                    if self.ub[bj].is_finite() {
+                        let t = (self.ub[bj] - xb) / (-wj);
+                        if t < t_max {
+                            t_max = t;
+                            leave = Some((pos, true));
+                        }
+                    }
+                }
+            }
+            if t_max.is_infinite() {
+                return PhaseEnd::Unbounded;
+            }
+            let t = t_max.max(0.0);
+            self.degenerate_streak = if t <= self.cfg.feas_tol {
+                self.degenerate_streak + 1
+            } else {
+                0
+            };
+            // --- Apply the step. ---
+            for pos in 0..self.m {
+                let bj = self.basis[pos];
+                self.x[bj] -= sigma * t * self.w[pos];
+            }
+            match leave {
+                None => {
+                    // Bound flip: entering variable crosses to its other bound.
+                    self.x[j_enter] += sigma * t;
+                    self.state[j_enter] = match self.state[j_enter] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        other => other,
+                    };
+                }
+                Some((pos, hits_upper)) => {
+                    let piv = self.w[pos];
+                    if piv.abs() < self.cfg.pivot_tol {
+                        // Numerically unusable pivot: refactorize and retry.
+                        if !self.refactorize() {
+                            return PhaseEnd::Stalled;
+                        }
+                        continue;
+                    }
+                    let j_leave = self.basis[pos];
+                    // Entering becomes basic at its new value.
+                    self.x[j_enter] += sigma * t;
+                    self.state[j_enter] = VarState::Basic(pos);
+                    // Leaving variable lands exactly on a bound.
+                    self.x[j_leave] = if hits_upper { self.ub[j_leave] } else { self.lb[j_leave] };
+                    self.state[j_leave] = if hits_upper { VarState::AtUpper } else { VarState::AtLower };
+                    self.basis[pos] = j_enter;
+                    // Product-form update of the explicit inverse.
+                    let m = self.m;
+                    for k in 0..m {
+                        self.binv[pos * m + k] /= piv;
+                    }
+                    for r in 0..m {
+                        if r == pos {
+                            continue;
+                        }
+                        let f = self.w[r];
+                        if f == 0.0 {
+                            continue;
+                        }
+                        for k in 0..m {
+                            self.binv[r * m + k] -= f * self.binv[pos * m + k];
+                        }
+                    }
+                    self.pivots_since_refactor += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Solves a standard-form LP with the two-phase simplex method.
+///
+/// Rows are equilibrated (scaled by their infinity norm) before solving so
+/// that formulations mixing very large and very small coefficients (e.g.
+/// CVaR rows with `1/(1-β)` weights) stay numerically stable; duals are
+/// mapped back to the caller's row scaling.
+pub fn solve(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
+    // Row equilibration.
+    let row_norms = lp.a.row_inf_norms();
+    let needs_scaling = row_norms
+        .iter()
+        .any(|&v| v > 0.0 && !(1e-3..=1e3).contains(&v));
+    if needs_scaling {
+        let scale: Vec<f64> =
+            row_norms.iter().map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 }).collect();
+        let mut scaled = lp.clone();
+        let ones = vec![1.0; lp.num_vars()];
+        scaled.a.scale(&scale, &ones);
+        for (r, s) in scaled.rhs.iter_mut().zip(&scale) {
+            *r *= s;
+        }
+        let mut sol = solve_unscaled(&scaled, cfg);
+        for (d, s) in sol.duals.iter_mut().zip(&scale) {
+            *d *= s;
+        }
+        return sol;
+    }
+    solve_unscaled(lp, cfg)
+}
+
+fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
+    let n = lp.num_vars();
+    let m = lp.num_cons();
+    let max_iters = if cfg.max_iters == 0 { 200 + 20 * (n + m) } else { cfg.max_iters };
+
+    // Trivial case: no constraints — each variable sits at its best bound.
+    if m == 0 {
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            let c = lp.obj[j];
+            x[j] = if c > 0.0 {
+                lp.lb[j]
+            } else if c < 0.0 {
+                lp.ub[j]
+            } else if lp.lb[j].is_finite() {
+                lp.lb[j]
+            } else {
+                lp.ub[j].min(0.0).max(lp.lb[j])
+            };
+            if !x[j].is_finite() {
+                return Solution::failed(Status::Unbounded, n, m);
+            }
+        }
+        let obj: f64 = lp.obj_offset + x.iter().zip(&lp.obj).map(|(a, b)| a * b).sum::<f64>();
+        return Solution {
+            status: Status::Optimal,
+            x,
+            objective: lp.user_objective(obj),
+            duals: vec![],
+            stats: SolveStats::default(),
+        };
+    }
+
+    let mut s = Simplex::new(lp, cfg);
+
+    // Phase 1: minimize total infeasibility via artificial costs plus
+    // penalties on any basic variable that starts outside its bounds.
+    if s.infeasibility() > cfg.feas_tol || !s.cols.art_rows.is_empty() {
+        let phase1_cost = |s: &Simplex, j: usize| -> f64 {
+            if j >= s.cols.n + s.cols.m {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        match s.run_phase(&phase1_cost, max_iters) {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded => {
+                // Phase-1 objective is bounded below by zero; an "unbounded"
+                // report here is numerical noise. Treat as stalled.
+                return Solution::failed(Status::NumericalTrouble, n, m);
+            }
+            PhaseEnd::IterLimit => return Solution::failed(Status::IterationLimit, n, m),
+            PhaseEnd::Stalled => return Solution::failed(Status::NumericalTrouble, n, m),
+        }
+        let art_total: f64 = (0..s.cols.art_rows.len()).map(|k| s.x[s.cols.n + s.cols.m + k]).sum();
+        if art_total > cfg.feas_tol * 10.0 * (1.0 + lp.rhs.iter().map(|r| r.abs()).fold(0.0, f64::max)) {
+            return Solution::failed(Status::Infeasible, n, m);
+        }
+        // Pin artificials to zero for phase 2.
+        for k in 0..s.cols.art_rows.len() {
+            let j = s.cols.n + s.cols.m + k;
+            s.lb[j] = 0.0;
+            s.ub[j] = 0.0;
+            if !matches!(s.state[j], VarState::Basic(_)) {
+                s.x[j] = 0.0;
+                s.state[j] = VarState::AtLower;
+            }
+        }
+    }
+
+    // Phase 2: the real objective (structural columns only).
+    let phase2_cost = |s: &Simplex, j: usize| -> f64 {
+        if j < s.cols.n {
+            s.cols.lp.obj[j]
+        } else {
+            0.0
+        }
+    };
+    let end = s.run_phase(&phase2_cost, max_iters);
+    let status = match end {
+        PhaseEnd::Optimal => Status::Optimal,
+        PhaseEnd::Unbounded => Status::Unbounded,
+        PhaseEnd::IterLimit => Status::IterationLimit,
+        PhaseEnd::Stalled => Status::NumericalTrouble,
+    };
+    if !matches!(status, Status::Optimal) {
+        // On an iteration limit the current (feasible) iterate is still a
+        // meaningful answer; other failures return no point.
+        let mut sol = if matches!(status, Status::IterationLimit) {
+            let x: Vec<f64> = s.x[..n].to_vec();
+            let min_obj: f64 =
+                lp.obj_offset + x.iter().zip(&lp.obj).map(|(a, b)| a * b).sum::<f64>();
+            Solution {
+                status,
+                objective: lp.user_objective(min_obj),
+                x,
+                duals: Vec::new(),
+                stats: SolveStats::default(),
+            }
+        } else {
+            Solution::failed(status, n, m)
+        };
+        sol.stats.iterations = s.iterations;
+        return sol;
+    }
+    // Final cleanup: refresh values through one refactorization for accuracy.
+    s.refactorize();
+    s.compute_duals(&phase2_cost);
+    let x: Vec<f64> = s.x[..n].to_vec();
+    let min_obj: f64 = lp.obj_offset + x.iter().zip(&lp.obj).map(|(a, b)| a * b).sum::<f64>();
+    Solution {
+        status: Status::Optimal,
+        objective: lp.user_objective(min_obj),
+        duals: s.y.iter().map(|&v| lp.obj_sign * v).collect(),
+        x,
+        stats: SolveStats { iterations: s.iterations, ..SolveStats::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Objective, Sense, INF};
+
+    fn solve_model(m: &Model) -> Solution {
+        solve(&m.to_standard(), &SimplexConfig::default())
+    }
+
+    #[test]
+    fn textbook_max_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => obj 36 at (2,6)
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 4.0, "c1");
+        m.add_con(LinExpr::term(y, 2.0), Sense::Le, 12.0, "c2");
+        m.add_con(LinExpr::new().add(x, 3.0).add(y, 2.0), Sense::Le, 18.0, "c3");
+        m.set_objective(LinExpr::new().add(x, 3.0).add(y, 5.0), Objective::Maximize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 2 => x=6, y=4, obj 10
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Eq, 10.0, "sum");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, -1.0), Sense::Eq, 2.0, "diff");
+        m.set_objective(LinExpr::new().add(x, 1.0).add(y, 1.0), Objective::Minimize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.x[0] - 6.0).abs() < 1e-6);
+        assert!((s.x[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 => obj 20 at (10, 0)
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Ge, 10.0, "c1");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Ge, 2.0, "c2");
+        m.set_objective(LinExpr::new().add(x, 2.0).add(y, 3.0), Objective::Minimize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 20.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0, "x");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Ge, 5.0, "c");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Minimize);
+        assert_eq!(solve_model(&m).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Maximize);
+        m.add_con(LinExpr::term(x, -1.0), Sense::Le, 0.0, "noop");
+        assert_eq!(solve_model(&m).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounded_variables_flip() {
+        // max x + y, x <= 3 (bound), y <= 2 (bound), x + y <= 4
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 3.0, "x");
+        let y = m.add_var(0.0, 2.0, "y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 4.0, "cap");
+        m.set_objective(LinExpr::new().add(x, 1.0).add(y, 1.0), Objective::Maximize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x s.t. x >= -5 (via constraint, variable itself free)
+        let mut m = Model::new();
+        let x = m.add_var(-INF, INF, "x");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Ge, -5.0, "c");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Minimize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.x[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_equalities() {
+        // x + y = -3 with free vars; min x^2-ish proxy: min x - y
+        let mut m = Model::new();
+        let x = m.add_var(-10.0, 10.0, "x");
+        let y = m.add_var(-10.0, 10.0, "y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Eq, -3.0, "c");
+        m.set_objective(LinExpr::new().add(x, 1.0).add(y, -1.0), Objective::Minimize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        // Optimal pushes x to -10, y to 7.
+        assert!((s.x[0] + 10.0).abs() < 1e-6);
+        assert!((s.x[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_satisfy_complementary_slackness() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 10.0, "tight");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 100.0, "loose");
+        m.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        // Loose constraint must have zero dual.
+        assert!(s.duals[1].abs() < 1e-6, "duals {:?}", s.duals);
+        // Tight constraint dual equals marginal value 2.
+        assert!((s.duals[0] - 2.0).abs() < 1e-6, "duals {:?}", s.duals);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints intersecting at the same vertex.
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        for i in 0..20 {
+            m.add_con(
+                LinExpr::new().add(x, 1.0 + (i as f64) * 1e-9).add(y, 1.0),
+                Sense::Le,
+                1.0,
+                format!("c{i}"),
+            );
+        }
+        m.set_objective(LinExpr::new().add(x, 1.0).add(y, 1.0), Objective::Maximize);
+        let s = solve_model(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Backend selection: one entry point for every LP/MILP in the workspace.
+//!
+//! Formulation code builds a [`Model`](crate::model::Model) and calls
+//! [`solve`]; the backend is chosen by problem size unless pinned. The
+//! crossover threshold favours the exact simplex for anything it can finish
+//! quickly and the first-order PDHG solver beyond that.
+
+use crate::milp::{self, MilpConfig};
+use crate::model::Model;
+use crate::pdhg::{self, PdhgConfig};
+use crate::simplex::{self, SimplexConfig};
+use crate::solution::Solution;
+
+/// Which algorithm executes the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick by size: simplex below [`SolverConfig::auto_threshold`] rows,
+    /// PDHG above. Models with integer variables always use branch & bound.
+    #[default]
+    Auto,
+    /// Dense two-phase simplex (exact; small/medium problems).
+    Simplex,
+    /// Restarted averaged PDHG (approximate to tolerance; large problems).
+    Pdhg,
+}
+
+/// Combined solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Backend choice.
+    pub backend: Backend,
+    /// Row-count threshold for [`Backend::Auto`].
+    pub auto_threshold: usize,
+    /// Run [`crate::presolve`] before the backend (fixed variables,
+    /// singleton/empty rows, empty columns). Duals of eliminated rows are
+    /// reported as zero. Off by default: ARROW's TE rows are rarely
+    /// eliminable, so the pass usually costs more than it saves — enable
+    /// it for models with many fixed variables or bound-like rows.
+    pub presolve: bool,
+    /// Simplex knobs.
+    pub simplex: SimplexConfig,
+    /// PDHG knobs.
+    pub pdhg: PdhgConfig,
+    /// Branch-and-bound knobs (integer models).
+    pub milp: MilpConfig,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            backend: Backend::Auto,
+            auto_threshold: 1200,
+            presolve: false,
+            simplex: SimplexConfig::default(),
+            pdhg: PdhgConfig::default(),
+            milp: MilpConfig::default(),
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration pinned to the exact simplex backend.
+    pub fn exact() -> Self {
+        SolverConfig { backend: Backend::Simplex, ..Default::default() }
+    }
+
+    /// A configuration pinned to the PDHG backend with the given tolerance.
+    pub fn first_order(tol: f64) -> Self {
+        let mut cfg = SolverConfig { backend: Backend::Pdhg, ..Default::default() };
+        cfg.pdhg.tol = tol;
+        cfg
+    }
+}
+
+/// Solves `model` with the configured backend, timing the call.
+pub fn solve(model: &Model, cfg: &SolverConfig) -> Solution {
+    let start = std::time::Instant::now();
+    let mut sol = if model.num_int_vars() > 0 {
+        milp::solve(model, &cfg.milp)
+    } else {
+        let full = model.to_standard();
+        // Optional presolve: solve the reduced problem, expand the answer.
+        let (lp, reduction) = if cfg.presolve {
+            match crate::presolve::presolve(&full) {
+                crate::presolve::PresolveResult::Infeasible => {
+                    let mut s = Solution::failed(
+                        crate::solution::Status::Infeasible,
+                        full.num_vars(),
+                        full.num_cons(),
+                    );
+                    s.stats.solve_seconds = start.elapsed().as_secs_f64();
+                    return s;
+                }
+                crate::presolve::PresolveResult::Solved(mut s) => {
+                    s.stats.solve_seconds = start.elapsed().as_secs_f64();
+                    return s;
+                }
+                crate::presolve::PresolveResult::Reduced(r) => (r.lp.clone(), Some(r)),
+            }
+        } else {
+            (full, None)
+        };
+        let backend = match cfg.backend {
+            Backend::Auto => {
+                if lp.num_cons() <= cfg.auto_threshold {
+                    Backend::Simplex
+                } else {
+                    Backend::Pdhg
+                }
+            }
+            b => b,
+        };
+        let sol = match backend {
+            Backend::Simplex => simplex::solve(&lp, &cfg.simplex),
+            Backend::Pdhg => pdhg::solve(&lp, &cfg.pdhg),
+            Backend::Auto => unreachable!(),
+        };
+        // Auto mode falls back to the first-order method when the simplex
+        // loses numerical accuracy (rare, but recoverable).
+        let sol = if cfg.backend == Backend::Auto
+            && backend == Backend::Simplex
+            && sol.status == crate::solution::Status::NumericalTrouble
+        {
+            pdhg::solve(&lp, &cfg.pdhg)
+        } else {
+            sol
+        };
+        match reduction {
+            Some(r) if sol.status.is_usable() => r.expand(&sol),
+            _ => sol,
+        }
+    };
+    sol.stats.solve_seconds = start.elapsed().as_secs_f64();
+    sol
+}
+
+/// Solves with default configuration.
+pub fn solve_default(model: &Model) -> Solution {
+    solve(model, &SolverConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Objective, Sense};
+    use crate::solution::Status;
+
+    fn tiny_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 4.0, "x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 6.0, "cap");
+        m.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
+        m
+    }
+
+    #[test]
+    fn auto_picks_simplex_for_tiny_model() {
+        let s = solve_default(&tiny_model());
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pinned_backends_agree() {
+        let m = tiny_model();
+        let a = solve(&m, &SolverConfig::exact());
+        let b = solve(&m, &SolverConfig::first_order(1e-8));
+        assert_eq!(a.status, Status::Optimal);
+        assert_eq!(b.status, Status::Optimal);
+        assert!((a.objective - b.objective).abs() < 1e-4);
+    }
+
+    #[test]
+    fn integer_model_routes_to_milp() {
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 9.0, "x");
+        m.add_con(LinExpr::term(x, 2.0), Sense::Le, 7.0, "cap");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Maximize);
+        let s = solve_default(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!(s.stats.nodes >= 1);
+    }
+
+    #[test]
+    fn solve_records_wall_time() {
+        let s = solve_default(&tiny_model());
+        assert!(s.stats.solve_seconds >= 0.0);
+    }
+}
+#[cfg(test)]
+mod presolve_integration_tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Objective, Sense};
+    use crate::solution::Status;
+
+    #[test]
+    fn presolve_enabled_matches_direct_solve() {
+        let mut m = Model::new();
+        let fixed = m.add_var(2.0, 2.0, "fixed");
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 7.0, "bound_row");
+        m.add_con(
+            LinExpr::new().add(fixed, 1.0).add(x, 1.0).add(y, 1.0),
+            Sense::Le,
+            12.0,
+            "mix",
+        );
+        m.set_objective(
+            LinExpr::new().add(x, 2.0).add(y, 1.0).add(fixed, 1.0),
+            Objective::Maximize,
+        );
+        let plain = solve(&m, &SolverConfig::default());
+        let pre = solve(&m, &SolverConfig { presolve: true, ..Default::default() });
+        assert_eq!(plain.status, Status::Optimal);
+        assert_eq!(pre.status, Status::Optimal);
+        assert!((plain.objective - pre.objective).abs() < 1e-6);
+        assert_eq!(pre.x.len(), m.num_vars());
+        assert_eq!(pre.x[0], 2.0);
+    }
+
+    #[test]
+    fn presolve_reports_infeasibility_without_a_backend_call() {
+        let mut m = Model::new();
+        let x = m.add_var(5.0, 5.0, "x");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 1.0, "impossible");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Minimize);
+        let s = solve(&m, &SolverConfig { presolve: true, ..Default::default() });
+        assert_eq!(s.status, Status::Infeasible);
+    }
+}

@@ -1,0 +1,361 @@
+//! Minimal sparse-matrix support for the LP solvers.
+//!
+//! Only the operations the solvers actually need are implemented: building a
+//! matrix from triplets, row-major (CSR) and column-major (CSC) storage,
+//! matrix–vector products in both orientations, and infinity-norm row/column
+//! scaling used by the Ruiz preconditioner in [`crate::pdhg`].
+//!
+//! Deliberately omitted (not needed here): arithmetic between matrices,
+//! factorizations, and any `unsafe` indexing tricks.
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Rows are stored contiguously: the column indices and values of row `i`
+/// live in `col_idx[row_ptr[i]..row_ptr[i+1]]` / `values[...]`. Duplicate
+/// entries are combined at construction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; entries with the same coordinates
+    /// are summed. Explicit zeros produced by cancellation are kept (they are
+    /// harmless and rare in LP models).
+    ///
+    /// # Panics
+    /// Panics if any triplet is out of bounds — models are constructed by
+    /// this crate's own code, so an out-of-bounds triplet is a logic error.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+        }
+        // Count entries per row, then bucket-sort triplets into place.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr_tmp = counts.clone();
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0f64; triplets.len()];
+        let mut cursor = row_ptr_tmp;
+        for &(r, c, v) in triplets {
+            let p = cursor[r];
+            col_idx[p] = c;
+            values[p] = v;
+            cursor[r] += 1;
+        }
+        // Within each row: sort by column and combine duplicates.
+        let mut row_ptr = vec![0usize; rows + 1];
+        for i in 0..rows {
+            row_ptr[i + 1] = counts[i + 1] - counts[i] + row_ptr[i];
+        }
+        // Re-derive per-row ranges from original counts.
+        let mut out_col = Vec::with_capacity(triplets.len());
+        let mut out_val = Vec::with_capacity(triplets.len());
+        let mut out_ptr = Vec::with_capacity(rows + 1);
+        out_ptr.push(0);
+        let mut start = 0;
+        for i in 0..rows {
+            let end = counts[i + 1] - if i == 0 { 0 } else { counts[i] } + start;
+            let mut entries: Vec<(usize, f64)> = col_idx[start..end]
+                .iter()
+                .copied()
+                .zip(values[start..end].iter().copied())
+                .collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < entries.len() {
+                let c = entries[k].0;
+                let mut v = entries[k].1;
+                let mut j = k + 1;
+                while j < entries.len() && entries[j].0 == c {
+                    v += entries[j].1;
+                    j += 1;
+                }
+                out_col.push(c);
+                out_val.push(v);
+                k = j;
+            }
+            out_ptr.push(out_col.len());
+            start = end;
+        }
+        CsrMatrix { rows, cols, row_ptr: out_ptr, col_idx: out_col, values: out_val }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(column, value)` entries of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Computes `out = self * x`.
+    pub fn mul_vec(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows);
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[p] * x[self.col_idx[p]];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Computes `out = self^T * y`.
+    pub fn mul_transpose_vec(&self, y: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        out.fill(0.0);
+        for i in 0..self.rows {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[self.col_idx[p]] += self.values[p] * yi;
+            }
+        }
+    }
+
+    /// Infinity norm (max absolute value) of each row.
+    pub fn row_inf_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0f64; self.rows];
+        for i in 0..self.rows {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                norms[i] = norms[i].max(self.values[p].abs());
+            }
+        }
+        norms
+    }
+
+    /// Infinity norm of each column.
+    pub fn col_inf_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0f64; self.cols];
+        for p in 0..self.values.len() {
+            let c = self.col_idx[p];
+            norms[c] = norms[c].max(self.values[p].abs());
+        }
+        norms
+    }
+
+    /// Scales the matrix in place: entry `(i, j)` becomes
+    /// `row_scale[i] * a_ij * col_scale[j]`.
+    pub fn scale(&mut self, row_scale: &[f64], col_scale: &[f64]) {
+        debug_assert_eq!(row_scale.len(), self.rows);
+        debug_assert_eq!(col_scale.len(), self.cols);
+        for i in 0..self.rows {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                self.values[p] *= row_scale[i] * col_scale[self.col_idx[p]];
+            }
+        }
+    }
+
+    /// Estimates the spectral norm ‖A‖₂ by power iteration on `AᵀA`.
+    ///
+    /// Used to pick valid PDHG step sizes; a slight overestimate is safe, so
+    /// the result is inflated by 1%.
+    pub fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
+        if self.nnz() == 0 {
+            return 0.0;
+        }
+        let mut v = vec![1.0; self.cols];
+        let mut av = vec![0.0; self.rows];
+        let mut atav = vec![0.0; self.cols];
+        let mut norm = 0.0;
+        for _ in 0..iterations {
+            let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if vnorm == 0.0 {
+                return 0.0;
+            }
+            for x in v.iter_mut() {
+                *x /= vnorm;
+            }
+            self.mul_vec(&v, &mut av);
+            self.mul_transpose_vec(&av, &mut atav);
+            norm = atav.iter().map(|x| x * x).sum::<f64>().sqrt().sqrt();
+            std::mem::swap(&mut v, &mut atav);
+        }
+        norm * 1.01
+    }
+
+    /// Converts to column-major storage.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let col_ptr = counts.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut cursor = counts;
+        for i in 0..self.rows {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[p];
+                let q = cursor[c];
+                row_idx[q] = i;
+                values[q] = self.values[p];
+                cursor[c] += 1;
+            }
+        }
+        CscMatrix { rows: self.rows, cols: self.cols, col_ptr, row_idx, values }
+    }
+}
+
+/// A sparse matrix in compressed-sparse-column format.
+///
+/// Used by the simplex solver, which prices one column at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(row, value)` entries of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, v) in self.col(j) {
+            acc += v * y[i];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn from_triplets_combines_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, -1.0)]);
+        assert_eq!(m.nnz(), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 3.5)]);
+    }
+
+    #[test]
+    fn from_triplets_sorts_columns_within_rows() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        let cols: Vec<_> = m.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let mut out = vec![0.0; 2];
+        m.mul_vec(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn mul_transpose_vec_matches_dense() {
+        let m = sample();
+        let mut out = vec![0.0; 3];
+        m.mul_transpose_vec(&[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = sample();
+        assert_eq!(m.row_inf_norms(), vec![2.0, 3.0]);
+        assert_eq!(m.col_inf_norms(), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_applies_both_sides() {
+        let mut m = sample();
+        m.scale(&[2.0, 1.0], &[1.0, 0.5, 1.0]);
+        let mut out = vec![0.0; 2];
+        m.mul_vec(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![6.0, 1.5]);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        let c = m.to_csc();
+        assert_eq!(c.nnz(), m.nnz());
+        let col2: Vec<_> = c.col(2).collect();
+        assert_eq!(col2, vec![(0, 2.0)]);
+        assert_eq!(c.col_dot(1, &[10.0, 20.0]), 60.0);
+    }
+
+    #[test]
+    fn spectral_norm_estimate_bounds_identity() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let n = m.spectral_norm_estimate(50);
+        assert!(n >= 1.0 && n < 1.1, "estimate {n}");
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = CsrMatrix::from_triplets(2, 2, &[]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.spectral_norm_estimate(10), 0.0);
+        let mut out = vec![1.0; 2];
+        m.mul_vec(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+}

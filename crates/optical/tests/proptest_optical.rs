@@ -1,0 +1,157 @@
+//! Property-based tests of the optical substrate on random networks.
+
+use arrow_optical::{
+    greedy_assign, k_shortest_paths, solve_relaxed, Lightpath, OpticalNetwork, RoadmId,
+    RwaConfig, SpectrumMask,
+};
+use proptest::prelude::*;
+
+/// A random connected network: a ring of `n` ROADMs plus `extra` chords,
+/// with `lps` random single-slot lightpaths provisioned first-fit.
+fn random_net(n: usize, extra: &[(usize, usize)], lps: &[(usize, usize)]) -> OpticalNetwork {
+    let mut net = OpticalNetwork::new(16);
+    let r = net.add_roadms(n);
+    for i in 0..n {
+        net.add_fiber(r[i], r[(i + 1) % n], 200.0 + 50.0 * (i as f64 % 3.0)).unwrap();
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            net.add_fiber(r[a], r[b], 400.0).unwrap();
+        }
+    }
+    for &(a, b) in lps {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        if let Some(p) = arrow_optical::shortest_path(&net, r[a], r[b], &[], &[]) {
+            // First free slot end-to-end.
+            if let Some(w) = (0..16).find(|&w| {
+                p.fibers.iter().all(|&f| net.fiber(f).spectrum.is_free(w))
+            }) {
+                net.provision(Lightpath {
+                    src: r[a],
+                    dst: r[b],
+                    path: p.fibers,
+                    slots: vec![w],
+                    gbps_per_wavelength: 100.0,
+                })
+                .unwrap();
+            }
+        }
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Yen's paths are simple, sorted by length, distinct, and consistent
+    /// with Dijkstra's first path.
+    #[test]
+    fn ksp_invariants(
+        n in 4usize..9,
+        extra in proptest::collection::vec((0usize..9, 0usize..9), 0..4),
+        src in 0usize..9,
+        dst in 0usize..9,
+        k in 1usize..6,
+    ) {
+        let net = random_net(n, &extra, &[]);
+        let (src, dst) = (src % n, dst % n);
+        if src == dst {
+            return Ok(());
+        }
+        let paths = k_shortest_paths(&net, RoadmId(src), RoadmId(dst), k, &[], f64::INFINITY);
+        prop_assert!(!paths.is_empty(), "ring is connected");
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].length_km <= w[1].length_km + 1e-9, "not sorted");
+            prop_assert!(w[0].fibers != w[1].fibers, "duplicate path");
+        }
+        for p in &paths {
+            // Walk and check simplicity + endpoint correctness.
+            let mut at = RoadmId(src);
+            let mut seen = vec![at];
+            for &f in &p.fibers {
+                at = net.fiber(f).other_end(at);
+                prop_assert!(!seen.contains(&at), "loop in path");
+                seen.push(at);
+            }
+            prop_assert_eq!(at, RoadmId(dst));
+            prop_assert!((net.path_length_km(&p.fibers) - p.length_km).abs() < 1e-9);
+        }
+    }
+
+    /// The relaxed RWA never restores more wavelengths than were lost, and
+    /// the greedy exact assignment never exceeds the LP relaxation's
+    /// optimum (integral ≤ fractional) on a per-scenario total basis.
+    #[test]
+    fn rwa_relaxation_dominates_greedy(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
+        lps in proptest::collection::vec((0usize..8, 0usize..8), 1..10),
+        cut in 0usize..8,
+    ) {
+        let net = random_net(n, &extra, &lps);
+        let cut = arrow_optical::FiberId(cut % net.num_fibers());
+        if net.affected_lightpaths(&[cut]).is_empty() {
+            return Ok(());
+        }
+        let cfg = RwaConfig { allow_modulation_change: true, ..Default::default() };
+        let relaxed = solve_relaxed(&net, &[cut], &cfg);
+        let exact = greedy_assign(&net, &[cut], &cfg, None);
+        let lost: usize = relaxed.links.iter().map(|l| l.lost_wavelengths).sum();
+        let frac: f64 = relaxed.total_wavelengths;
+        let integral: usize = exact.iter().map(|a| a.wavelengths()).sum();
+        prop_assert!(frac <= lost as f64 + 1e-6, "restored more than lost");
+        prop_assert!(integral as f64 <= frac + 1e-4,
+            "greedy {integral} beat the LP bound {frac}");
+    }
+
+    /// Spectrum masks: occupy/release round-trip and counting laws hold for
+    /// arbitrary operation sequences.
+    #[test]
+    fn spectrum_counting_laws(ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..80)) {
+        let mut mask = SpectrumMask::new(64);
+        let mut model = std::collections::HashSet::new();
+        for (w, occupy) in ops {
+            if occupy {
+                let changed = mask.occupy(w);
+                prop_assert_eq!(changed, model.insert(w));
+            } else {
+                let changed = mask.release(w);
+                prop_assert_eq!(changed, model.remove(&w));
+            }
+        }
+        prop_assert_eq!(mask.occupied_count(), model.len());
+        prop_assert_eq!(mask.free_count(), 64 - model.len());
+        prop_assert_eq!(mask.occupied_slots().count(), model.len());
+    }
+
+    /// Provisioning is transactional: a slot collision leaves no partial
+    /// occupancy behind.
+    #[test]
+    fn provision_is_transactional(
+        n in 4usize..8,
+        lps in proptest::collection::vec((0usize..8, 0usize..8), 1..8),
+    ) {
+        let mut net = random_net(n, &[], &lps);
+        let before: Vec<usize> =
+            net.fibers().iter().map(|f| f.spectrum.occupied_count()).collect();
+        // Try to provision over an occupied slot (slot of first lightpath).
+        if let Some(lp0) = net.lightpaths().first().cloned() {
+            let clash = Lightpath {
+                src: lp0.src,
+                dst: lp0.dst,
+                path: lp0.path.clone(),
+                slots: lp0.slots.clone(),
+                gbps_per_wavelength: 100.0,
+            };
+            prop_assert!(net.provision(clash).is_err());
+            let after: Vec<usize> =
+                net.fibers().iter().map(|f| f.spectrum.occupied_count()).collect();
+            prop_assert_eq!(before, after, "failed provision mutated spectrum");
+        }
+    }
+}

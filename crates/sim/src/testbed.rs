@@ -1,0 +1,282 @@
+//! The production-level testbed of §5 (Fig. 10) and its restoration trial
+//! (Figs. 11 & 12).
+//!
+//! Four ROADM sites in a ring (A, B, C, D), ~2,160 km of fiber, 34
+//! amplifier sites. Sixteen 200 Gbps wavelengths form four IP links:
+//! `A↔B` (0.4 Tbps, direct), `A↔C` (1.2 Tbps, express via D over fiber
+//! CD), `B↔D` (1.2 Tbps, express via C over fiber CD), and `C↔D`
+//! (0.4 Tbps, direct) — so cutting fiber CD takes down 14 wavelengths /
+//! 2.8 Tbps across three IP links, exactly the Fig. 11 trial.
+//!
+//! The end-to-end restoration is simulated event-by-event: cut detection →
+//! plan dispatch (ARROW pre-computes plans) → parallel ROADM group
+//! reconfiguration → (legacy only) sequential amplifier convergence along
+//! each surrogate path. With ASE noise loading the amplifier stage
+//! disappears, reproducing the paper's ~8 s vs ~17 min comparison
+//! (Fig. 12, a 127× gap).
+
+use crate::amplifier::{AmplifierChain, AmplifierParams};
+use crate::event::{EventQueue, SimTime};
+use crate::roadm::{roadm_groups, RoadmParams};
+use arrow_optical::rwa::{greedy_assign, RwaConfig};
+use arrow_optical::{FiberId, Lightpath, OpticalNetwork, RoadmId};
+
+/// The testbed: optical network plus amplifier chains per fiber.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The four-site optical network with its 16 provisioned wavelengths.
+    pub net: OpticalNetwork,
+    /// Site ids in order A, B, C, D.
+    pub sites: [RoadmId; 4],
+    /// Fiber ids in order AB, AC, BD, CD.
+    pub fibers: [FiberId; 4],
+    /// Amplifier chain per fiber (indexable by fiber id).
+    pub amps: Vec<AmplifierChain>,
+}
+
+/// Builds the Fig. 10 testbed.
+pub fn build_testbed() -> Testbed {
+    let mut net = OpticalNetwork::new(16);
+    let a = net.add_roadm();
+    let b = net.add_roadm();
+    let c = net.add_roadm();
+    let d = net.add_roadm();
+    let f_ab = net.add_fiber(a, b, 540.0).unwrap();
+    let f_ac = net.add_fiber(a, c, 540.0).unwrap();
+    let f_bd = net.add_fiber(b, d, 540.0).unwrap();
+    let f_cd = net.add_fiber(c, d, 540.0).unwrap();
+    // A↔B: 2 × 200G direct (λ1, λ2).
+    net.provision(Lightpath {
+        src: a,
+        dst: b,
+        path: vec![f_ab],
+        slots: vec![0, 1],
+        gbps_per_wavelength: 200.0,
+    })
+    .unwrap();
+    // A↔C: 6 × 200G express via D (fibers AB? no — via B/D would collide);
+    // routed A–B–D–C so it rides fiber CD (per the Fig. 11 cut impact).
+    net.provision(Lightpath {
+        src: a,
+        dst: c,
+        path: vec![f_ab, f_bd, f_cd],
+        slots: vec![2, 3, 4, 5, 6, 7],
+        gbps_per_wavelength: 200.0,
+    })
+    .unwrap();
+    // B↔D: 6 × 200G express via C: B–A–C–D riding fiber CD.
+    net.provision(Lightpath {
+        src: b,
+        dst: d,
+        path: vec![f_ab, f_ac, f_cd],
+        slots: vec![8, 9, 10, 11, 12, 13],
+        gbps_per_wavelength: 200.0,
+    })
+    .unwrap();
+    // C↔D: 2 × 200G direct.
+    net.provision(Lightpath {
+        src: c,
+        dst: d,
+        path: vec![f_cd],
+        slots: vec![14, 15],
+        gbps_per_wavelength: 200.0,
+    })
+    .unwrap();
+    // 34 amplifier sites over 2,160 km: 8–9 per 540 km fiber.
+    let amp_params = AmplifierParams::default();
+    let amps = vec![
+        AmplifierChain { sites: 9, params: amp_params },
+        AmplifierChain { sites: 8, params: amp_params },
+        AmplifierChain { sites: 8, params: amp_params },
+        AmplifierChain { sites: 9, params: amp_params },
+    ];
+    Testbed { net, sites: [a, b, c, d], fibers: [f_ab, f_ac, f_bd, f_cd], amps }
+}
+
+/// One step of restored capacity in the trial timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Seconds since the cut.
+    pub time_s: SimTime,
+    /// Cumulative restored IP capacity in Gbps.
+    pub restored_gbps: f64,
+}
+
+/// Result of a restoration trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Capacity lost at the cut (Gbps).
+    pub lost_gbps: f64,
+    /// Restoration steps over time.
+    pub timeline: Vec<TimelinePoint>,
+    /// Seconds until the last restorable wavelength carries traffic.
+    pub total_latency_s: SimTime,
+    /// Restored capacity at the end of the trial (Gbps).
+    pub restored_gbps: f64,
+}
+
+/// Simulates cutting `cut_fiber` and restoring with or without ASE noise
+/// loading.
+pub fn restoration_trial(
+    testbed: &Testbed,
+    cut_fiber: FiberId,
+    noise_loading: bool,
+    roadm_params: &RoadmParams,
+) -> TrialResult {
+    let cut = [cut_fiber];
+    let lost_gbps: f64 = testbed
+        .net
+        .affected_lightpaths(&cut)
+        .iter()
+        .map(|&lp| testbed.net.lightpath(lp).capacity_gbps())
+        .sum();
+    // The restoration plan: exact greedy RWA (this is what ARROW installs
+    // proactively; the trial replays it).
+    let rwa = RwaConfig::default();
+    let assigns = greedy_assign(&testbed.net, &cut, &rwa, None);
+    // ROADM groups across all restored routes.
+    let routes: Vec<(RoadmId, RoadmId, arrow_optical::FiberPath)> = assigns
+        .iter()
+        .flat_map(|a| {
+            let lp = testbed.net.lightpath(a.lightpath);
+            a.routes.iter().map(move |(p, _)| (lp.src, lp.dst, p.clone()))
+        })
+        .collect();
+    let groups = roadm_groups(&testbed.net, &routes);
+
+    #[derive(Debug)]
+    enum Ev {
+        Detected,
+        PlanDispatched,
+        RoadmsConfigured,
+        /// Restored Gbps once a route carries traffic.
+        RouteLive(f64),
+    }
+    let mut q = EventQueue::new();
+    q.schedule(roadm_params.detection_seconds, Ev::Detected);
+    let mut timeline = vec![TimelinePoint { time_s: 0.0, restored_gbps: 0.0 }];
+    let mut restored = 0.0;
+    // Flatten routes with their capacities for the event loop.
+    let route_caps: Vec<(arrow_optical::FiberPath, f64)> = assigns
+        .iter()
+        .flat_map(|a| {
+            a.routes
+                .iter()
+                .zip(&a.route_gbps)
+                .map(|((p, slots), &g)| (p.clone(), slots.len() as f64 * g))
+        })
+        .collect();
+    while let Some((t, ev)) = q.pop() {
+        match ev {
+            Ev::Detected => q.schedule(t + roadm_params.dispatch_seconds, Ev::PlanDispatched),
+            Ev::PlanDispatched => {
+                q.schedule(t + groups.reconfig_seconds(roadm_params), Ev::RoadmsConfigured)
+            }
+            Ev::RoadmsConfigured => {
+                for (path, gbps) in route_caps.iter() {
+                    if noise_loading {
+                        // Amplifiers never see a power change: light is
+                        // live as soon as the WSS switches.
+                        q.schedule(t, Ev::RouteLive(*gbps));
+                    } else {
+                        // Legacy: every amplifier along the surrogate path
+                        // must re-converge, sequentially per fiber chain.
+                        let wait: f64 = path
+                            .fibers
+                            .iter()
+                            .map(|f| testbed.amps[f.0].total_convergence_seconds())
+                            .sum();
+                        q.schedule(t + wait, Ev::RouteLive(*gbps));
+                    }
+                }
+            }
+            Ev::RouteLive(gbps) => {
+                restored += gbps;
+                timeline.push(TimelinePoint { time_s: t, restored_gbps: restored });
+            }
+        }
+    }
+    let total_latency_s = timeline.last().map(|p| p.time_s).unwrap_or(0.0);
+    TrialResult { lost_gbps, timeline, total_latency_s, restored_gbps: restored }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_cd_loses_2_8_tbps_across_three_links() {
+        let tb = build_testbed();
+        let cut = [tb.fibers[3]];
+        let affected = tb.net.affected_lightpaths(&cut);
+        assert_eq!(affected.len(), 3, "A↔C, B↔D, C↔D must fail");
+        let lost: f64 =
+            affected.iter().map(|&l| tb.net.lightpath(l).capacity_gbps()).sum();
+        assert_eq!(lost, 2800.0, "14 wavelengths × 200 Gbps");
+    }
+
+    #[test]
+    fn amplifier_count_matches_fig10() {
+        let tb = build_testbed();
+        let total: usize = tb.amps.iter().map(|c| c.sites).sum();
+        assert_eq!(total, 34);
+        assert_eq!(tb.net.path_length_km(&tb.fibers.to_vec()), 2160.0);
+    }
+
+    #[test]
+    fn arrow_restores_in_seconds() {
+        let tb = build_testbed();
+        let r = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
+        assert!(r.restored_gbps > 0.0);
+        assert!(
+            r.total_latency_s <= 10.0,
+            "ARROW latency {} s should be single-digit seconds",
+            r.total_latency_s
+        );
+    }
+
+    #[test]
+    fn legacy_takes_minutes_and_ratio_matches_fig12() {
+        let tb = build_testbed();
+        let arrow = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
+        let legacy = restoration_trial(&tb, tb.fibers[3], false, &RoadmParams::default());
+        assert!(
+            legacy.total_latency_s > 600.0,
+            "legacy latency {} s should be tens of minutes",
+            legacy.total_latency_s
+        );
+        let ratio = legacy.total_latency_s / arrow.total_latency_s;
+        assert!(
+            (50.0..300.0).contains(&ratio),
+            "latency ratio {ratio} should be of the order of the paper's 127×"
+        );
+        // Both restore the same capacity — noise loading changes latency,
+        // not restorability.
+        assert!((arrow.restored_gbps - legacy.restored_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_is_monotone() {
+        let tb = build_testbed();
+        let r = restoration_trial(&tb, tb.fibers[3], false, &RoadmParams::default());
+        for w in r.timeline.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s);
+            assert!(w[1].restored_gbps >= w[0].restored_gbps);
+        }
+        assert!(r.restored_gbps <= r.lost_gbps + 1e-9);
+    }
+
+    #[test]
+    fn restoration_capacity_is_substantial() {
+        // The testbed is engineered so the CD cut is (near-)fully
+        // restorable: 16-slot fibers with 14 idle slots on the detours.
+        let tb = build_testbed();
+        let r = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
+        assert!(
+            r.restored_gbps >= 0.5 * r.lost_gbps,
+            "restored {} of {} Gbps",
+            r.restored_gbps,
+            r.lost_gbps
+        );
+    }
+}

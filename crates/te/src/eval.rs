@@ -1,0 +1,482 @@
+//! Scenario playback and the paper's evaluation metrics (§6.1–§6.3).
+//!
+//! Given a TE allocation (and, for restoration-aware schemes, a restoration
+//! plan), the playback engine simulates each failure scenario:
+//!
+//! 1. A tunnel is *alive* if it survives the scenario outright or is
+//!    restored by the scenario's ticket (every failed link it crosses has
+//!    positive restored capacity).
+//! 2. Each flow offers traffic over its alive tunnels — by default frozen
+//!    at the installed allocations (FFC semantics: routers keep splitting
+//!    ratios, traffic on dead tunnels is lost), optionally re-spread
+//!    proportionally over survivors.
+//! 3. Failed links carry their *restored* capacity; every link load above
+//!    capacity is scaled down proportionally (the congestion response).
+//!
+//! From playback come the paper's metrics: **availability** (§6.1,
+//! probability-weighted demand satisfaction), **throughput** (§6.2,
+//! `Σ b_f / Σ d_f`), **availability-guaranteed throughput** and the
+//! **router-port cost model** (§6.3).
+
+use crate::alloc::TeAllocation;
+use crate::restoration::RestorationTicket;
+use crate::schemes::{SchemeOutput, TeScheme};
+use crate::tunnels::{DirLink, TeInstance};
+use arrow_topology::FailureScenario;
+use std::collections::HashMap;
+
+/// Playback options.
+#[derive(Debug, Clone, Default)]
+pub struct PlaybackConfig {
+    /// Re-spread each flow's admitted bandwidth over surviving tunnels
+    /// (instead of freezing installed allocations).
+    pub respread: bool,
+}
+
+/// Delivery outcome for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioDelivery {
+    /// Delivered Gbps per flow.
+    pub delivered: Vec<f64>,
+    /// Directed link loads after congestion scaling.
+    pub link_loads: HashMap<DirLink, f64>,
+    /// `Σ delivered / Σ demand` — the scenario's demand satisfaction.
+    pub satisfaction: f64,
+}
+
+/// Plays one scenario (or the healthy state when `scenario` is `None`).
+pub fn play_scenario(
+    inst: &TeInstance,
+    alloc: &TeAllocation,
+    scenario: Option<&FailureScenario>,
+    restoration: Option<&RestorationTicket>,
+    cfg: &PlaybackConfig,
+) -> ScenarioDelivery {
+    let restored = |l| restoration.map_or(0.0, |t| t.restored_gbps(l));
+    // Tunnel aliveness.
+    let alive: Vec<bool> = inst
+        .tunnels
+        .iter()
+        .enumerate()
+        .map(|(ti, _)| match scenario {
+            None => true,
+            Some(q) => {
+                let tid = crate::tunnels::TunnelId(ti);
+                inst.tunnel_survives(tid, q)
+                    || inst.tunnel_restorable(tid, q, &restored)
+            }
+        })
+        .collect();
+    // Offered load per tunnel.
+    let mut offered = vec![0.0; inst.tunnels.len()];
+    for (fi, flow) in inst.flows.iter().enumerate() {
+        let alive_total: f64 = flow
+            .tunnels
+            .iter()
+            .filter(|&&t| alive[t.0])
+            .map(|&t| alloc.a[t.0])
+            .sum();
+        if alive_total <= 0.0 {
+            continue;
+        }
+        let send = if cfg.respread {
+            alloc.b[fi]
+        } else {
+            alloc.b[fi].min(alive_total)
+        };
+        for &t in &flow.tunnels {
+            if alive[t.0] {
+                offered[t.0] = send * alloc.a[t.0] / alive_total;
+            }
+        }
+    }
+    // Link loads and congestion factors.
+    let mut loads: HashMap<DirLink, f64> = HashMap::new();
+    for (ti, t) in inst.tunnels.iter().enumerate() {
+        if offered[ti] <= 0.0 {
+            continue;
+        }
+        for h in &t.hops {
+            *loads.entry(DirLink(h.link, h.forward)).or_insert(0.0) += offered[ti];
+        }
+    }
+    let cap_of = |key: &DirLink| -> f64 {
+        let is_failed = scenario.is_some_and(|q| q.failed_links.contains(&key.0));
+        if is_failed {
+            restored(key.0)
+        } else {
+            inst.wan.link(key.0).capacity_gbps
+        }
+    };
+    let factor: HashMap<DirLink, f64> = loads
+        .iter()
+        .map(|(k, &load)| {
+            let cap = cap_of(k);
+            (*k, if load > cap { (cap / load).max(0.0) } else { 1.0 })
+        })
+        .collect();
+    // Delivered traffic: each tunnel is throttled by its worst link.
+    let mut delivered = vec![0.0; inst.flows.len()];
+    let mut final_loads: HashMap<DirLink, f64> = HashMap::new();
+    for (ti, t) in inst.tunnels.iter().enumerate() {
+        if offered[ti] <= 0.0 {
+            continue;
+        }
+        let worst = t
+            .hops
+            .iter()
+            .map(|h| factor[&DirLink(h.link, h.forward)])
+            .fold(1.0, f64::min);
+        let got = offered[ti] * worst;
+        delivered[t.flow.0] += got;
+        for h in &t.hops {
+            *final_loads.entry(DirLink(h.link, h.forward)).or_insert(0.0) += got;
+        }
+    }
+    // Delivered cannot exceed demand.
+    for (fi, flow) in inst.flows.iter().enumerate() {
+        delivered[fi] = delivered[fi].min(flow.demand_gbps);
+    }
+    let total_demand = inst.total_demand().max(1e-9);
+    let satisfaction = delivered.iter().sum::<f64>() / total_demand;
+    ScenarioDelivery { delivered, link_loads: final_loads, satisfaction }
+}
+
+/// Availability of one `(allocation, restoration plan)` on an instance
+/// (§6.1): "the sum of the availabilities of all *failure scenarios*
+/// weighted by each scenario's probability" — demand satisfaction during
+/// failures, probability-normalized over the enumerated scenario set. The
+/// healthy state is not a failure scenario and does not enter the average
+/// (use [`availability_with_healthy`] for the blended variant).
+pub fn availability(inst: &TeInstance, out: &SchemeOutput, cfg: &PlaybackConfig) -> f64 {
+    let failure_mass: f64 = inst.scenarios.iter().map(|s| s.probability).sum();
+    let mut acc = 0.0;
+    for (qi, q) in inst.scenarios.iter().enumerate() {
+        let ticket = out.restoration.as_ref().map(|r| &r[qi]);
+        acc += q.probability * play_scenario(inst, &out.alloc, Some(q), ticket, cfg).satisfaction;
+    }
+    acc / failure_mass.max(1e-12)
+}
+
+/// Availability blended with the healthy state: probability-weighted
+/// demand satisfaction over the healthy scenario plus every enumerated
+/// failure scenario, normalized by covered mass.
+pub fn availability_with_healthy(
+    inst: &TeInstance,
+    out: &SchemeOutput,
+    cfg: &PlaybackConfig,
+) -> f64 {
+    let failure_mass: f64 = inst.scenarios.iter().map(|s| s.probability).sum();
+    let healthy_p = (1.0 - failure_mass).max(0.0);
+    let mut acc = healthy_p * play_scenario(inst, &out.alloc, None, None, cfg).satisfaction;
+    for (qi, q) in inst.scenarios.iter().enumerate() {
+        let ticket = out.restoration.as_ref().map(|r| &r[qi]);
+        acc += q.probability * play_scenario(inst, &out.alloc, Some(q), ticket, cfg).satisfaction;
+    }
+    acc / (healthy_p + failure_mass).max(1e-12)
+}
+
+/// Availability-guaranteed throughput at target β (§6.3): the demand
+/// satisfaction at the β-percentile of the scenario loss distribution
+/// (scenarios sorted by loss, weighted by probability).
+pub fn availability_guaranteed_throughput(
+    inst: &TeInstance,
+    out: &SchemeOutput,
+    beta: f64,
+    cfg: &PlaybackConfig,
+) -> f64 {
+    let failure_mass: f64 = inst.scenarios.iter().map(|s| s.probability).sum();
+    let healthy_p = (1.0 - failure_mass).max(0.0);
+    let mut points: Vec<(f64, f64)> = Vec::new(); // (satisfaction, prob)
+    points.push((play_scenario(inst, &out.alloc, None, None, cfg).satisfaction, healthy_p));
+    for (qi, q) in inst.scenarios.iter().enumerate() {
+        let ticket = out.restoration.as_ref().map(|r| &r[qi]);
+        points.push((
+            play_scenario(inst, &out.alloc, Some(q), ticket, cfg).satisfaction,
+            q.probability,
+        ));
+    }
+    let mass: f64 = points.iter().map(|&(_, p)| p).sum();
+    // Sort by loss ascending (satisfaction descending); walk until the
+    // cumulative probability reaches β.
+    points.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut cum = 0.0;
+    for &(sat, p) in &points {
+        cum += p / mass;
+        if cum >= beta {
+            return sat;
+        }
+    }
+    points.last().map(|&(s, _)| s).unwrap_or(0.0)
+}
+
+/// Router-port cost proxy (§6.3): worst-case directed link load across all
+/// scenarios, summed over links, normalized by the availability-guaranteed
+/// throughput.
+pub fn required_router_ports(
+    inst: &TeInstance,
+    out: &SchemeOutput,
+    beta: f64,
+    cfg: &PlaybackConfig,
+) -> f64 {
+    let mut cap: HashMap<DirLink, f64> = HashMap::new();
+    let healthy = play_scenario(inst, &out.alloc, None, None, cfg);
+    for (k, &v) in &healthy.link_loads {
+        cap.insert(*k, v);
+    }
+    for (qi, q) in inst.scenarios.iter().enumerate() {
+        let ticket = out.restoration.as_ref().map(|r| &r[qi]);
+        let d = play_scenario(inst, &out.alloc, Some(q), ticket, cfg);
+        for (k, &v) in &d.link_loads {
+            let e = cap.entry(*k).or_insert(0.0);
+            *e = e.max(v);
+        }
+    }
+    let total: f64 = cap.values().sum();
+    let agt = availability_guaranteed_throughput(inst, out, beta, cfg).max(1e-9);
+    total / agt
+}
+
+/// Finds the demand scale at which the failure-oblivious MaxFlow LP just
+/// satisfies 100% of demand (§6 "Demand scaling": evaluations start from a
+/// state where all demand fits). Returns the multiplicative factor to apply
+/// to the instance's demands.
+pub fn normalize_demand_scale(inst: &TeInstance) -> f64 {
+    use crate::schemes::maxflow::MaxFlow;
+    let solver = MaxFlow::default();
+    let sat = |scale: f64| -> bool {
+        let scaled = inst.scaled(scale);
+        solver.solve(&scaled).alloc.throughput(&scaled) >= 0.999
+    };
+    let (mut lo, mut hi);
+    if sat(1.0) {
+        lo = 1.0;
+        hi = 2.0;
+        while sat(hi) && hi < 1e6 {
+            lo = hi;
+            hi *= 2.0;
+        }
+    } else {
+        hi = 1.0;
+        lo = 0.5;
+        while !sat(lo) && lo > 1e-6 {
+            hi = lo;
+            lo /= 2.0;
+        }
+    }
+    for _ in 0..25 {
+        let mid = 0.5 * (lo + hi);
+        if sat(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Convenience: solve a scheme and report `(availability, throughput)`.
+pub fn evaluate_scheme(
+    inst: &TeInstance,
+    scheme: &dyn TeScheme,
+    cfg: &PlaybackConfig,
+) -> (f64, f64, SchemeOutput) {
+    let out = scheme.solve(inst);
+    let avail = availability(inst, &out, cfg);
+    let thr = play_scenario(inst, &out.alloc, None, None, cfg).satisfaction;
+    (avail, thr, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restoration::{RestorationTicket, TicketSet};
+    use crate::schemes::arrow::Arrow;
+    use crate::schemes::ecmp::Ecmp;
+    use crate::schemes::ffc::Ffc;
+    use crate::schemes::maxflow::MaxFlow;
+    use crate::tunnels::{build_instance, TunnelConfig};
+    use arrow_topology::{b4, generate_failures, gravity_matrices, FailureConfig, TrafficConfig};
+
+    fn instance(scale: f64) -> TeInstance {
+        let wan = b4(17);
+        let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios: 10, ..Default::default() });
+        build_instance(
+            &wan,
+            &tms[0].scaled(scale),
+            failures.failure_scenarios(),
+            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+        )
+    }
+
+    fn full_tickets(inst: &TeInstance) -> TicketSet {
+        TicketSet {
+            per_scenario: inst
+                .scenarios
+                .iter()
+                .map(|s| {
+                    vec![RestorationTicket {
+                        restored: s
+                            .failed_links
+                            .iter()
+                            .map(|&l| (l, inst.wan.link(l).capacity_gbps))
+                            .collect(),
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn healthy_playback_matches_lp_for_feasible_schemes() {
+        let inst = instance(1.0);
+        let out = MaxFlow::default().solve(&inst);
+        let d = play_scenario(&inst, &out.alloc, None, None, &Default::default());
+        assert!(
+            (d.satisfaction - out.alloc.throughput(&inst)).abs() < 1e-3,
+            "playback {} vs LP {}",
+            d.satisfaction,
+            out.alloc.throughput(&inst)
+        );
+    }
+
+    #[test]
+    fn ffc1_has_no_loss_under_single_cuts() {
+        let inst = instance(2.0);
+        let out = Ffc::k1().solve(&inst);
+        let healthy = play_scenario(&inst, &out.alloc, None, None, &Default::default());
+        for q in inst.scenarios.iter().filter(|q| q.cut_fibers.len() == 1) {
+            let d = play_scenario(&inst, &out.alloc, Some(q), None, &Default::default());
+            assert!(
+                d.satisfaction >= healthy.satisfaction - 1e-3,
+                "FFC-1 lost traffic under a single cut: {} -> {}",
+                healthy.satisfaction,
+                d.satisfaction
+            );
+        }
+    }
+
+    #[test]
+    fn ecmp_loses_more_than_ffc_under_failures() {
+        let inst = instance(3.0);
+        let ecmp = Ecmp.solve(&inst);
+        let ffc = Ffc::k1().solve(&inst);
+        let cfg = PlaybackConfig::default();
+        // Compare worst-case single-cut satisfaction.
+        let worst = |out: &SchemeOutput| -> f64 {
+            inst.scenarios
+                .iter()
+                .map(|q| play_scenario(&inst, &out.alloc, Some(q), None, &cfg).satisfaction)
+                .fold(1.0, f64::min)
+        };
+        // ECMP admits everything, so its healthy satisfaction may be higher,
+        // but its worst-case drop (relative to healthy) must be larger.
+        let drop_e = play_scenario(&inst, &ecmp.alloc, None, None, &cfg).satisfaction - worst(&ecmp);
+        let drop_f = play_scenario(&inst, &ffc.alloc, None, None, &cfg).satisfaction - worst(&ffc);
+        assert!(
+            drop_e > drop_f - 1e-6,
+            "ECMP drop {drop_e} should exceed FFC drop {drop_f}"
+        );
+    }
+
+    #[test]
+    fn restoration_improves_availability() {
+        let inst = instance(3.0);
+        let cfg = PlaybackConfig::default();
+        let no_rest = Arrow::new(TicketSet::none(inst.scenarios.len())).solve(&inst);
+        let full = Arrow::new(full_tickets(&inst)).solve(&inst);
+        let a_no = availability(&inst, &no_rest, &cfg);
+        let a_full = availability(&inst, &full, &cfg);
+        assert!(
+            a_full >= a_no - 1e-6,
+            "restoration must not hurt availability: {a_full} vs {a_no}"
+        );
+    }
+
+    #[test]
+    fn availability_guaranteed_throughput_is_monotone_in_beta() {
+        let inst = instance(3.0);
+        let out = Ffc::k1().solve(&inst);
+        let cfg = PlaybackConfig::default();
+        let t90 = availability_guaranteed_throughput(&inst, &out, 0.90, &cfg);
+        let t999 = availability_guaranteed_throughput(&inst, &out, 0.999, &cfg);
+        assert!(t999 <= t90 + 1e-9, "stricter target cannot allow more: {t999} vs {t90}");
+    }
+
+    #[test]
+    fn router_ports_favor_restoration() {
+        let inst = instance(2.0);
+        let cfg = PlaybackConfig::default();
+        let full = Arrow::new(full_tickets(&inst)).solve(&inst);
+        let ffc = Ffc::k1().solve(&inst);
+        let ports_arrow = required_router_ports(&inst, &full, 0.999, &cfg);
+        let ports_ffc = required_router_ports(&inst, &ffc, 0.999, &cfg);
+        assert!(
+            ports_arrow <= ports_ffc * 1.5,
+            "ARROW ports {ports_arrow} should not exceed FFC {ports_ffc} by much"
+        );
+    }
+
+    #[test]
+    fn normalization_lands_at_full_satisfaction() {
+        let inst = instance(1.0);
+        let s = normalize_demand_scale(&inst);
+        assert!(s > 0.0);
+        let scaled = inst.scaled(s);
+        let out = MaxFlow::default().solve(&scaled);
+        let thr = out.alloc.throughput(&scaled);
+        assert!(thr >= 0.998, "normalized throughput {thr}");
+        // And 10% more demand must not fit fully.
+        let over = inst.scaled(s * 1.1);
+        let out2 = MaxFlow::default().solve(&over);
+        assert!(out2.alloc.throughput(&over) < 0.9999);
+    }
+
+    #[test]
+    fn playback_respects_restored_capacity_limits() {
+        let inst = instance(2.0);
+        let out = MaxFlow::default().solve(&inst);
+        let q = &inst.scenarios[0];
+        let half_ticket = RestorationTicket {
+            restored: q
+                .failed_links
+                .iter()
+                .map(|&l| (l, 0.5 * inst.wan.link(l).capacity_gbps))
+                .collect(),
+        };
+        let d = play_scenario(&inst, &out.alloc, Some(q), Some(&half_ticket), &Default::default());
+        for (k, &load) in &d.link_loads {
+            let cap = if q.failed_links.contains(&k.0) {
+                half_ticket.restored_gbps(k.0)
+            } else {
+                inst.wan.link(k.0).capacity_gbps
+            };
+            assert!(load <= cap * (1.0 + 1e-6) + 1e-6, "link {k:?} load {load} > cap {cap}");
+        }
+        // Partial restoration beats no restoration.
+        let none = play_scenario(&inst, &out.alloc, Some(q), None, &Default::default());
+        assert!(d.satisfaction >= none.satisfaction - 1e-9);
+    }
+
+    #[test]
+    fn respread_mode_never_delivers_less() {
+        let inst = instance(2.0);
+        let out = Ecmp.solve(&inst);
+        for q in &inst.scenarios {
+            let frozen = play_scenario(&inst, &out.alloc, Some(q), None, &Default::default());
+            let spread = play_scenario(
+                &inst,
+                &out.alloc,
+                Some(q),
+                None,
+                &PlaybackConfig { respread: true },
+            );
+            // Respread pushes the full b_f onto survivors; with capacity
+            // scaling it can congest, but in the typical case it delivers
+            // at least as much offered traffic.
+            assert!(spread.satisfaction >= frozen.satisfaction - 0.05);
+        }
+    }
+}

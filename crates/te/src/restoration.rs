@@ -1,0 +1,106 @@
+//! Restoration candidates (LotteryTickets) as TE input.
+//!
+//! These are plain data types: a [`RestorationTicket`] records, for one
+//! failure scenario, how much capacity each failed IP link would get back
+//! (`r_e^{z,q}` in Table 2). Ticket *generation* (the RWA seed + randomized
+//! rounding of Algorithm 1) lives in `arrow-core`; keeping the data types
+//! here lets the TE formulations consume tickets without a dependency
+//! cycle.
+
+use serde::{Deserialize, Serialize};
+use arrow_topology::IpLinkId;
+
+/// One restoration candidate for one failure scenario: restorable Gbps per
+/// failed IP link (links absent from the map restore nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestorationTicket {
+    /// `(failed link, restorable capacity in Gbps)` pairs.
+    pub restored: Vec<(IpLinkId, f64)>,
+}
+
+impl RestorationTicket {
+    /// A ticket restoring nothing (the degenerate candidate).
+    pub fn empty() -> Self {
+        RestorationTicket { restored: Vec::new() }
+    }
+
+    /// Restorable capacity of `link` under this ticket (0 if absent).
+    pub fn restored_gbps(&self, link: IpLinkId) -> f64 {
+        self.restored
+            .iter()
+            .find(|(l, _)| *l == link)
+            .map(|&(_, g)| g)
+            .unwrap_or(0.0)
+    }
+
+    /// Total restored capacity across links.
+    pub fn total_gbps(&self) -> f64 {
+        self.restored.iter().map(|&(_, g)| g).sum()
+    }
+
+    /// The set of links with positive restoration — the ticket's *support*.
+    /// Tickets with equal support yield the same restorable-tunnel sets
+    /// `Y_f^{z,q}`, which the Phase-I builder exploits to deduplicate
+    /// constraints.
+    pub fn support(&self) -> Vec<IpLinkId> {
+        let mut s: Vec<IpLinkId> = self
+            .restored
+            .iter()
+            .filter(|&&(_, g)| g > 0.0)
+            .map(|&(l, _)| l)
+            .collect();
+        s.sort();
+        s
+    }
+}
+
+/// All restoration candidates for every failure scenario, parallel to the
+/// instance's scenario list: `tickets[q]` holds `Z^q`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TicketSet {
+    /// Per-scenario ticket lists.
+    pub per_scenario: Vec<Vec<RestorationTicket>>,
+}
+
+impl TicketSet {
+    /// A set with no restoration at all (every scheme degenerates to
+    /// failure-aware TE without restoration).
+    pub fn none(num_scenarios: usize) -> Self {
+        TicketSet { per_scenario: vec![vec![RestorationTicket::empty()]; num_scenarios] }
+    }
+
+    /// Tickets for scenario index `q`.
+    pub fn for_scenario(&self, q: usize) -> &[RestorationTicket] {
+        &self.per_scenario[q]
+    }
+
+    /// Largest per-scenario ticket count.
+    pub fn max_tickets(&self) -> usize {
+        self.per_scenario.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_lookup_and_total() {
+        let t = RestorationTicket {
+            restored: vec![(IpLinkId(3), 200.0), (IpLinkId(7), 0.0), (IpLinkId(1), 300.0)],
+        };
+        assert_eq!(t.restored_gbps(IpLinkId(3)), 200.0);
+        assert_eq!(t.restored_gbps(IpLinkId(9)), 0.0);
+        assert_eq!(t.total_gbps(), 500.0);
+        assert_eq!(t.support(), vec![IpLinkId(1), IpLinkId(3)]);
+    }
+
+    #[test]
+    fn none_set_shape() {
+        let s = TicketSet::none(4);
+        assert_eq!(s.per_scenario.len(), 4);
+        assert_eq!(s.max_tickets(), 1);
+        assert_eq!(s.for_scenario(2)[0], RestorationTicket::empty());
+        assert_eq!(RestorationTicket::empty().total_gbps(), 0.0);
+    }
+}

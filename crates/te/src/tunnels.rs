@@ -1,0 +1,532 @@
+//! IP-layer tunnels and the TE problem instance.
+//!
+//! Standard TE input (Table 1): flows are site pairs with demands; each
+//! flow routes over a fixed set of tunnels (IP-layer paths). Tunnels are
+//! selected with k-shortest paths plus a fiber-disjointness preference
+//! (§6 "Tunnel selection"), and the selection guarantees at least one
+//! residual tunnel per flow under every configured failure scenario by
+//! adding scenario-avoiding tunnels where needed.
+//!
+//! IP links are full-duplex: a tunnel occupies capacity on each link in a
+//! specific direction, and capacity constraints are per `(link, direction)`.
+
+use arrow_topology::{FailureScenario, IpLinkId, SiteId, TrafficMatrix, Wan};
+
+/// Index of a flow within a [`TeInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// Index of a tunnel within a [`TeInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TunnelId(pub usize);
+
+/// One directed traversal of an IP link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectedHop {
+    /// The IP link.
+    pub link: IpLinkId,
+    /// `true` when traversed from `link.a` to `link.b`.
+    pub forward: bool,
+}
+
+/// A directed capacity key: `(link, direction)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirLink(pub IpLinkId, pub bool);
+
+/// One tunnel: a loop-free IP path serving one flow.
+#[derive(Debug, Clone)]
+pub struct Tunnel {
+    /// The flow this tunnel serves.
+    pub flow: FlowId,
+    /// Directed hops from the flow's source to its destination.
+    pub hops: Vec<DirectedHop>,
+    /// Total underlying fiber length (km) — the latency proxy used to rank.
+    pub length_km: f64,
+}
+
+impl Tunnel {
+    /// Whether the tunnel traverses `link` (either direction).
+    pub fn uses_link(&self, link: IpLinkId) -> bool {
+        self.hops.iter().any(|h| h.link == link)
+    }
+
+    /// The underlying fiber ids (for disjointness checks).
+    pub fn fibers(&self, wan: &Wan) -> Vec<arrow_optical::FiberId> {
+        let mut out = Vec::new();
+        for h in &self.hops {
+            let lp = wan.optical.lightpath(wan.link(h.link).lightpath);
+            out.extend(lp.path.iter().copied());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// One flow: an ordered site pair with a demand and its tunnel set.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Source site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// Demand in Gbps (`d_f`).
+    pub demand_gbps: f64,
+    /// Tunnels serving this flow (`T_f`).
+    pub tunnels: Vec<TunnelId>,
+}
+
+/// Tunnel-selection knobs.
+#[derive(Debug, Clone)]
+pub struct TunnelConfig {
+    /// Tunnels per flow (§6: 8 for B4, 12 for IBM, 16 for Facebook).
+    pub tunnels_per_flow: usize,
+    /// Prefer fiber-disjoint tunnels when ranking candidates.
+    pub prefer_fiber_disjoint: bool,
+    /// Beyond the instance's scenario list, also guarantee (where the IP
+    /// layer permits) a surviving tunnel for every cut of up to this many
+    /// fibers. FFC-k enumerates *all* k-fiber combinations, so its
+    /// protection quality depends on this (§6 "ensuring that there is at
+    /// least one residual tunnel for every flow under each failure
+    /// scenario"). `1` covers all single cuts; `0` covers only the
+    /// instance's scenarios.
+    pub cover_all_cuts: usize,
+}
+
+impl Default for TunnelConfig {
+    fn default() -> Self {
+        TunnelConfig { tunnels_per_flow: 8, prefer_fiber_disjoint: true, cover_all_cuts: 1 }
+    }
+}
+
+/// The full TE problem instance: topology + flows + tunnels + scenarios.
+#[derive(Debug, Clone)]
+pub struct TeInstance {
+    /// The WAN (IP + optical layers).
+    pub wan: Wan,
+    /// Flows (`F`), one per ordered site pair with positive demand.
+    pub flows: Vec<Flow>,
+    /// All tunnels (`T`), flow-owned.
+    pub tunnels: Vec<Tunnel>,
+    /// Failure scenarios considered (`Q`), failure entries only.
+    pub scenarios: Vec<FailureScenario>,
+}
+
+/// IP-layer Dijkstra from `src` to `dst`, avoiding `banned_links` and
+/// interior `banned_sites`. Edge weight: underlying fiber km + 1 (the +1
+/// breaks ties toward fewer hops).
+fn ip_shortest_path(
+    wan: &Wan,
+    src: SiteId,
+    dst: SiteId,
+    banned_links: &[IpLinkId],
+    banned_sites: &[SiteId],
+) -> Option<(Vec<DirectedHop>, f64)> {
+    let n = wan.num_sites();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(usize, DirectedHop)>> = vec![None; n];
+    let mut done = vec![false; n];
+    if banned_sites.contains(&src) || banned_sites.contains(&dst) {
+        return None;
+    }
+    dist[src.0] = 0.0;
+    // Simple O(V^2) scan — IP graphs here are at most a few dozen sites.
+    loop {
+        let mut at = None;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !done[v] && dist[v] < best {
+                best = dist[v];
+                at = Some(v);
+            }
+        }
+        let Some(at) = at else { break };
+        if at == dst.0 {
+            break;
+        }
+        done[at] = true;
+        for lid in wan.incident_links(SiteId(at)) {
+            if banned_links.contains(&lid) {
+                continue;
+            }
+            let link = wan.link(lid);
+            let next = link.other_end(SiteId(at));
+            if banned_sites.contains(&next) || done[next.0] {
+                continue;
+            }
+            let lp = wan.optical.lightpath(link.lightpath);
+            let w = wan.optical.path_length_km(&lp.path) + 1.0;
+            if dist[at] + w < dist[next.0] {
+                dist[next.0] = dist[at] + w;
+                prev[next.0] = Some((at, DirectedHop { link: lid, forward: link.a.0 == at }));
+            }
+        }
+    }
+    if !dist[dst.0].is_finite() {
+        return None;
+    }
+    let mut hops = Vec::new();
+    let mut at = dst.0;
+    while at != src.0 {
+        let (p, h) = prev[at].expect("finite distance implies predecessor");
+        hops.push(h);
+        at = p;
+    }
+    hops.reverse();
+    Some((hops, dist[dst.0]))
+}
+
+/// Sites visited by a hop sequence starting at `src`.
+fn hop_sites(wan: &Wan, src: SiteId, hops: &[DirectedHop]) -> Vec<SiteId> {
+    let mut sites = vec![src];
+    let mut at = src;
+    for h in hops {
+        at = wan.link(h.link).other_end(at);
+        sites.push(at);
+    }
+    sites
+}
+
+/// Yen's k-shortest loop-free IP paths.
+fn ip_k_shortest(
+    wan: &Wan,
+    src: SiteId,
+    dst: SiteId,
+    k: usize,
+) -> Vec<(Vec<DirectedHop>, f64)> {
+    let mut accepted: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
+    let Some(first) = ip_shortest_path(wan, src, dst, &[], &[]) else {
+        return accepted;
+    };
+    accepted.push(first);
+    let mut candidates: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
+    while accepted.len() < k {
+        let (last_hops, _) = accepted.last().expect("non-empty").clone();
+        let last_sites = hop_sites(wan, src, &last_hops);
+        for spur in 0..last_hops.len() {
+            let spur_site = last_sites[spur];
+            let root = &last_hops[..spur];
+            let mut banned_links: Vec<IpLinkId> = Vec::new();
+            for (p, _) in &accepted {
+                if p.len() > spur && p[..spur] == *root {
+                    banned_links.push(p[spur].link);
+                }
+            }
+            let banned_sites: Vec<SiteId> = last_sites[..spur].to_vec();
+            if let Some((spur_hops, _)) =
+                ip_shortest_path(wan, spur_site, dst, &banned_links, &banned_sites)
+            {
+                let mut hops = root.to_vec();
+                hops.extend(spur_hops);
+                let len: f64 = hops
+                    .iter()
+                    .map(|h| {
+                        let lp = wan.optical.lightpath(wan.link(h.link).lightpath);
+                        wan.optical.path_length_km(&lp.path) + 1.0
+                    })
+                    .sum();
+                let cand = (hops, len);
+                if !accepted.iter().any(|(p, _)| *p == cand.0)
+                    && !candidates.iter().any(|(p, _)| *p == cand.0)
+                {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        accepted.push(candidates.swap_remove(best));
+    }
+    accepted
+}
+
+/// Builds a TE instance from a WAN, a traffic matrix, scenarios, and
+/// tunnel-selection settings.
+///
+/// Tunnel selection: take `3k` Yen candidates, then greedily pick `k`
+/// maximizing fiber diversity (if configured), then patch: for every
+/// scenario that would kill all of a flow's tunnels, add one tunnel routed
+/// around that scenario's failed links (when the IP layer permits).
+pub fn build_instance(
+    wan: &Wan,
+    tm: &TrafficMatrix,
+    scenarios: &[FailureScenario],
+    cfg: &TunnelConfig,
+) -> TeInstance {
+    let mut flows = Vec::new();
+    let mut tunnels: Vec<Tunnel> = Vec::new();
+    for (src, dst, demand) in tm.flows() {
+        let fid = FlowId(flows.len());
+        let k = cfg.tunnels_per_flow;
+        let mut cands = ip_k_shortest(wan, src, dst, k * 3);
+        // Greedy diversity selection.
+        let mut chosen: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
+        if cfg.prefer_fiber_disjoint {
+            while chosen.len() < k && !cands.is_empty() {
+                let chosen_fibers: Vec<std::collections::HashSet<_>> = chosen
+                    .iter()
+                    .map(|(hops, _)| {
+                        hops.iter()
+                            .flat_map(|h| {
+                                wan.optical
+                                    .lightpath(wan.link(h.link).lightpath)
+                                    .path
+                                    .iter()
+                                    .copied()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // Score: number of already-chosen tunnels we are fiber-
+                // disjoint from (higher better), then shorter length.
+                let best = cands
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let score = |(hops, len): &(Vec<DirectedHop>, f64)| {
+                            let fibers: std::collections::HashSet<_> = hops
+                                .iter()
+                                .flat_map(|h| {
+                                    wan.optical
+                                        .lightpath(wan.link(h.link).lightpath)
+                                        .path
+                                        .iter()
+                                        .copied()
+                                })
+                                .collect();
+                            let disjoint = chosen_fibers
+                                .iter()
+                                .filter(|cf| cf.is_disjoint(&fibers))
+                                .count() as f64;
+                            disjoint - len / 1e6
+                        };
+                        score(a).partial_cmp(&score(b)).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                chosen.push(cands.swap_remove(best));
+            }
+        } else {
+            cands.truncate(k);
+            chosen = cands;
+        }
+        // Patch: guarantee a residual tunnel for every instance scenario,
+        // and for every single-fiber cut when `cover_all_cuts >= 1` (FFC-1
+        // protects all singles, not just the probabilistic subset).
+        let mut patch_sets: Vec<Vec<IpLinkId>> =
+            scenarios.iter().map(|s| s.failed_links.clone()).collect();
+        if cfg.cover_all_cuts >= 1 {
+            for f in 0..wan.optical.num_fibers() {
+                let failed = wan.links_failed_by(&[arrow_optical::FiberId(f)]);
+                if !failed.is_empty() {
+                    patch_sets.push(failed);
+                }
+            }
+        }
+        for failed in &patch_sets {
+            let survives = chosen
+                .iter()
+                .any(|(hops, _)| hops.iter().all(|h| !failed.contains(&h.link)));
+            if !survives {
+                if let Some(extra) = ip_shortest_path(wan, src, dst, failed, &[]) {
+                    if !chosen.iter().any(|(p, _)| *p == extra.0) {
+                        chosen.push(extra);
+                    }
+                }
+            }
+        }
+        let tunnel_ids: Vec<TunnelId> = chosen
+            .into_iter()
+            .map(|(hops, len)| {
+                let tid = TunnelId(tunnels.len());
+                tunnels.push(Tunnel { flow: fid, hops, length_km: len });
+                tid
+            })
+            .collect();
+        flows.push(Flow { src, dst, demand_gbps: demand, tunnels: tunnel_ids });
+    }
+    TeInstance { wan: wan.clone(), flows, tunnels, scenarios: scenarios.to_vec() }
+}
+
+impl TeInstance {
+    /// Tunnels of flow `f`.
+    pub fn flow_tunnels(&self, f: FlowId) -> &[TunnelId] {
+        &self.flows[f.0].tunnels
+    }
+
+    /// Whether tunnel `t` survives scenario `q` unaided (uses no failed
+    /// link) — membership in `T_f^q`.
+    pub fn tunnel_survives(&self, t: TunnelId, q: &FailureScenario) -> bool {
+        self.tunnels[t.0].hops.iter().all(|h| !q.failed_links.contains(&h.link))
+    }
+
+    /// Whether tunnel `t` is *restorable* under a restoration vector: it
+    /// crosses at least one failed link and every failed link it crosses
+    /// has positive restored capacity (§3.3: `t ∈ Y_f^{z,q}`).
+    pub fn tunnel_restorable(
+        &self,
+        t: TunnelId,
+        q: &FailureScenario,
+        restored_gbps: &dyn Fn(IpLinkId) -> f64,
+    ) -> bool {
+        let mut crosses_failed = false;
+        for h in &self.tunnels[t.0].hops {
+            if q.failed_links.contains(&h.link) {
+                crosses_failed = true;
+                if restored_gbps(h.link) <= 0.0 {
+                    return false;
+                }
+            }
+        }
+        crosses_failed
+    }
+
+    /// Total demand in Gbps.
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand_gbps).sum()
+    }
+
+    /// All directed capacity keys that appear in some tunnel.
+    pub fn used_dir_links(&self) -> Vec<DirLink> {
+        let mut keys: Vec<DirLink> = self
+            .tunnels
+            .iter()
+            .flat_map(|t| t.hops.iter().map(|h| DirLink(h.link, h.forward)))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Returns a clone with demands replaced from another traffic matrix
+    /// (tunnels are demand-independent, so they are reused).
+    pub fn with_demands(&self, tm: &TrafficMatrix) -> TeInstance {
+        let mut inst = self.clone();
+        for f in inst.flows.iter_mut() {
+            f.demand_gbps = tm.demand(f.src, f.dst);
+        }
+        inst
+    }
+
+    /// Returns a clone with all demands scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> TeInstance {
+        let mut inst = self.clone();
+        for f in inst.flows.iter_mut() {
+            f.demand_gbps *= factor;
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_topology::{b4, generate_failures, gravity_matrices, FailureConfig, TrafficConfig};
+
+    fn small_instance() -> TeInstance {
+        let wan = b4(17);
+        let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+        let failures = generate_failures(&wan, &FailureConfig::default());
+        build_instance(
+            &wan,
+            &tms[0],
+            failures.failure_scenarios(),
+            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn every_flow_gets_tunnels() {
+        let inst = small_instance();
+        assert_eq!(inst.flows.len(), 12 * 11);
+        for f in &inst.flows {
+            assert!(!f.tunnels.is_empty(), "flow {:?}->{:?} has no tunnels", f.src, f.dst);
+            assert!(f.tunnels.len() >= 2, "need path diversity");
+        }
+    }
+
+    #[test]
+    fn tunnels_connect_endpoints_loop_free() {
+        let inst = small_instance();
+        for f in &inst.flows {
+            for &tid in &f.tunnels {
+                let t = &inst.tunnels[tid.0];
+                let sites = hop_sites(&inst.wan, f.src, &t.hops);
+                assert_eq!(*sites.last().unwrap(), f.dst);
+                let mut uniq = sites.clone();
+                uniq.sort();
+                uniq.dedup();
+                assert_eq!(uniq.len(), sites.len(), "tunnel has a loop");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_tunnel_exists_for_every_scenario() {
+        let inst = small_instance();
+        for q in &inst.scenarios {
+            for f in &inst.flows {
+                let survives =
+                    f.tunnels.iter().any(|&t| inst.tunnel_survives(t, q));
+                assert!(
+                    survives,
+                    "flow {:?}->{:?} loses all tunnels under {:?}",
+                    f.src, f.dst, q.cut_fibers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restorable_classification() {
+        let inst = small_instance();
+        let q = &inst.scenarios[0];
+        assert!(!q.failed_links.is_empty());
+        let failed = q.failed_links[0];
+        // With full restoration every affected tunnel is restorable...
+        let all_restored = |_l: IpLinkId| 1000.0;
+        // ...with zero restoration none is.
+        let none_restored = |_l: IpLinkId| 0.0;
+        let mut found_affected = false;
+        for (i, t) in inst.tunnels.iter().enumerate() {
+            if t.uses_link(failed) {
+                found_affected = true;
+                let tid = TunnelId(i);
+                assert!(inst.tunnel_restorable(tid, q, &all_restored));
+                assert!(!inst.tunnel_restorable(tid, q, &none_restored));
+                assert!(!inst.tunnel_survives(tid, q));
+            }
+        }
+        assert!(found_affected, "some tunnel should cross the failed link");
+    }
+
+    #[test]
+    fn demand_swaps_preserve_tunnels() {
+        let wan = b4(17);
+        let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 2, ..Default::default() });
+        let failures = generate_failures(&wan, &FailureConfig::default());
+        let inst = build_instance(&wan, &tms[0], failures.failure_scenarios(), &Default::default());
+        let inst2 = inst.with_demands(&tms[1]);
+        assert_eq!(inst.tunnels.len(), inst2.tunnels.len());
+        assert_ne!(inst.total_demand(), inst2.total_demand());
+        let scaled = inst.scaled(2.0);
+        assert!((scaled.total_demand() - 2.0 * inst.total_demand()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn used_dir_links_are_deduped() {
+        let inst = small_instance();
+        let keys = inst.used_dir_links();
+        let mut copy = keys.clone();
+        copy.dedup();
+        assert_eq!(copy.len(), keys.len());
+        assert!(!keys.is_empty());
+    }
+}

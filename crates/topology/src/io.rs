@@ -1,0 +1,152 @@
+//! JSON persistence for topologies, traffic, and failure models.
+//!
+//! Experiment artifacts (the generated WAN, its traffic matrices, the
+//! sampled failure model) can be saved and reloaded so that runs are
+//! reproducible byte-for-byte even across versions of the generators.
+//! Plain `serde_json` text — diffable, greppable, no custom format.
+
+use crate::failures::FailureModel;
+use crate::traffic::TrafficMatrix;
+use crate::wan::Wan;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A self-contained experiment snapshot: one WAN with its demands and
+/// failure model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The two-layer WAN.
+    pub wan: Wan,
+    /// Traffic matrices (time epochs).
+    pub traffic: Vec<TrafficMatrix>,
+    /// The probabilistic failure model.
+    pub failures: FailureModel,
+}
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Parse(serde_json::Error),
+    /// The decoded snapshot fails cross-layer validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(e) => write!(f, "parse error: {e}"),
+            IoError::Invalid(m) => write!(f, "invalid snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Parse(e)
+    }
+}
+
+impl Snapshot {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, IoError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses from JSON and validates the cross-layer mapping.
+    pub fn from_json(text: &str) -> Result<Self, IoError> {
+        let snap: Snapshot = serde_json::from_str(text)?;
+        snap.wan.validate().map_err(IoError::Invalid)?;
+        for tm in &snap.traffic {
+            if tm.num_sites() != snap.wan.num_sites() {
+                return Err(IoError::Invalid(format!(
+                    "traffic matrix over {} sites, WAN has {}",
+                    tm.num_sites(),
+                    snap.wan.num_sites()
+                )));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::b4;
+    use crate::failures::{generate, FailureConfig};
+    use crate::traffic::{gravity_matrices, TrafficConfig};
+
+    fn snapshot() -> Snapshot {
+        let wan = b4(17);
+        let traffic =
+            gravity_matrices(&wan, &TrafficConfig { num_matrices: 2, ..Default::default() });
+        let failures = generate(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+        Snapshot { wan, traffic, failures }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let snap = snapshot();
+        let json = snap.to_json().unwrap();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back.wan.num_links(), snap.wan.num_links());
+        assert_eq!(back.wan.optical.num_fibers(), snap.wan.optical.num_fibers());
+        assert_eq!(back.traffic.len(), 2);
+        assert_eq!(back.traffic[0].total(), snap.traffic[0].total());
+        assert_eq!(back.failures.scenarios.len(), snap.failures.scenarios.len());
+        // Spectrum occupancy survives (private bitset fields).
+        let f0 = arrow_optical::FiberId(0);
+        assert_eq!(
+            back.wan.optical.fiber(f0).spectrum.occupied_count(),
+            snap.wan.optical.fiber(f0).spectrum.occupied_count()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("arrow_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b4.json");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.wan.summary(), snap.wan.summary());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(matches!(Snapshot::from_json("{not json"), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn mismatched_traffic_is_rejected() {
+        let mut snap = snapshot();
+        snap.traffic.push(crate::traffic::TrafficMatrix::zeros(3));
+        let json = snap.to_json().unwrap();
+        assert!(matches!(Snapshot::from_json(&json), Err(IoError::Invalid(_))));
+    }
+}

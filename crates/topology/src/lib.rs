@@ -1,0 +1,25 @@
+//! # arrow-topology — WAN topologies, demands, and failure models
+//!
+//! The data substrate for the ARROW evaluation (§6): the three topologies
+//! of Table 4 (B4, IBM, and a generated Facebook-like WAN) with their
+//! cross-layer IP↔optical mapping, gravity-model traffic matrices with
+//! diurnal variation, the Weibull probabilistic fiber-cut scenario model,
+//! and seeded synthetic operational telemetry matching the §2 measurement
+//! aggregates (failure tickets, lost capacity, wavelength deployments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod distributions;
+pub mod failures;
+pub mod io;
+pub mod telemetry;
+pub mod traffic;
+pub mod wan;
+
+pub use builders::{b4, facebook_like, ibm, is_two_edge_connected, IpLayerConfig};
+pub use failures::{generate as generate_failures, FailureConfig, FailureModel, FailureScenario};
+pub use io::Snapshot;
+pub use traffic::{gravity_matrices, TrafficConfig, TrafficMatrix};
+pub use wan::{IpLink, IpLinkId, SiteId, Wan};

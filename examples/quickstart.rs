@@ -1,0 +1,126 @@
+//! Quickstart: partial restoration and why the TE must pick the candidate.
+//!
+//! Recreates the paper's Fig. 7 walk-through. Two IP links (4 and 8
+//! wavelengths) ride the same fiber. When it is cut, the surrogate paths
+//! only have room for 5 of the 12 lost wavelengths, so restoration is
+//! *partial* and several candidate splits ("LotteryTickets") restore the
+//! same total capacity — but with traffic demands of 100 and 400 Gbps,
+//! only one candidate maximizes throughput.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use arrow_wan::prelude::*;
+
+fn main() {
+    // --- Build the Fig. 7 optical network. -------------------------------
+    let mut net = OpticalNetwork::new(16);
+    let b = net.add_roadm();
+    let c = net.add_roadm();
+    let x = net.add_roadm(); // top detour
+    let y = net.add_roadm(); // bottom detour
+    let f_bc = net.add_fiber(b, c, 100.0).unwrap();
+    let f_bx = net.add_fiber(b, x, 120.0).unwrap();
+    let f_xc = net.add_fiber(x, c, 120.0).unwrap();
+    let f_by = net.add_fiber(b, y, 140.0).unwrap();
+    let f_yc = net.add_fiber(y, c, 140.0).unwrap();
+
+    // Two IP links on the direct fiber: IP1 (4 λ), IP2 (8 λ) @100 Gbps.
+    let ip1 = net
+        .provision(Lightpath {
+            src: b,
+            dst: c,
+            path: vec![f_bc],
+            slots: (0..4).collect(),
+            gbps_per_wavelength: 100.0,
+        })
+        .unwrap();
+    let ip2 = net
+        .provision(Lightpath {
+            src: b,
+            dst: c,
+            path: vec![f_bc],
+            slots: (4..12).collect(),
+            gbps_per_wavelength: 100.0,
+        })
+        .unwrap();
+    // Background traffic leaves 3 free slots on the top detour, 2 on the
+    // bottom one.
+    for w in 3..16 {
+        for (s, d, f) in [(b, x, f_bx), (x, c, f_xc)] {
+            net.provision(Lightpath {
+                src: s,
+                dst: d,
+                path: vec![f],
+                slots: vec![w],
+                gbps_per_wavelength: 100.0,
+            })
+            .unwrap();
+        }
+    }
+    for w in 2..16 {
+        for (s, d, f) in [(b, y, f_by), (y, c, f_yc)] {
+            net.provision(Lightpath {
+                src: s,
+                dst: d,
+                path: vec![f],
+                slots: vec![w],
+                gbps_per_wavelength: 100.0,
+            })
+            .unwrap();
+        }
+    }
+
+    println!("== Fig. 7: partial restoration candidates ==\n");
+    println!("Healthy state: IP1 = 400 Gbps, IP2 = 800 Gbps on fiber B–C.");
+    println!("Fiber B–C is cut: 12 wavelengths (1.2 Tbps) go dark.\n");
+
+    // --- What does the optical layer say? --------------------------------
+    let rwa = RwaConfig::default();
+    let relaxed = solve_relaxed(&net, &[f_bc], &rwa);
+    println!(
+        "RWA relaxation: {:.1} of 12 wavelengths restorable in total",
+        relaxed.total_wavelengths
+    );
+    for l in &relaxed.links {
+        let name = if l.lightpath == ip1 { "IP1" } else { "IP2" };
+        println!("  {}: fractional λ = {:.2} (lost {})", name, l.wavelengths, l.lost_wavelengths);
+    }
+
+    // --- Enumerate the paper's three candidates and check feasibility. ---
+    println!("\nCandidate restoration splits (all restore 500 Gbps):");
+    let candidates = [(2usize, 3usize), (1, 4), (3, 2)];
+    for (i, &(w1, w2)) in candidates.iter().enumerate() {
+        let ok = is_feasible(&net, &[f_bc], &rwa, &[(ip1, w1), (ip2, w2)]);
+        println!(
+            "  candidate {}: IP1 ← {} λ ({} Gbps), IP2 ← {} λ ({} Gbps)  [feasible: {}]",
+            i + 1,
+            w1,
+            w1 * 100,
+            w2,
+            w2 * 100,
+            ok
+        );
+    }
+
+    // --- Throughput of each candidate under the Fig. 7 demands. ----------
+    let demand = [(ip1, 100.0f64), (ip2, 400.0f64)];
+    println!("\nTraffic demand: IP1 = 100 Gbps, IP2 = 400 Gbps.");
+    let mut best = (0, 0.0);
+    for (i, &(w1, w2)) in candidates.iter().enumerate() {
+        let throughput: f64 = demand
+            .iter()
+            .zip([w1, w2])
+            .map(|(&(_, d), w)| d.min(w as f64 * 100.0))
+            .sum();
+        println!("  candidate {}: throughput = {} Gbps", i + 1, throughput);
+        if throughput > best.1 {
+            best = (i + 1, throughput);
+        }
+    }
+    println!(
+        "\nWinner: candidate {} with {} Gbps — the optical layer alone cannot \
+         tell the candidates apart; the TE must choose.",
+        best.0, best.1
+    );
+    assert_eq!(best.0, 2, "Fig. 7's candidate 2 must win");
+}

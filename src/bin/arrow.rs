@@ -1,0 +1,353 @@
+//! `arrow` — command-line front end for the ARROW reproduction.
+//!
+//! Subcommands (run `arrow help` for usage):
+//!
+//! * `topology <b4|ibm|facebook>` — build a Table-4 WAN and print its
+//!   cross-layer statistics.
+//! * `restore <topo> --fiber <id>` — simulate a fiber cut and print the
+//!   RWA restoration outcome per failed IP link.
+//! * `plan <topo>` — run the full ARROW controller (offline LotteryTickets
+//!   + online two-phase TE) and print the plan.
+//! * `availability <topo> --scheme <name> --scale <x>` — evaluate a TE
+//!   scheme's availability at a demand scale.
+//! * `latency` — replay the §5 testbed restoration trial with and without
+//!   noise loading.
+//! * `mps <topo> --out <file>` — export the MaxFlow TE LP as an MPS file
+//!   for cross-checking with external solvers.
+//!
+//! Argument parsing is deliberately plain `std` (no CLI dependency): flags
+//! are `--key value` pairs after the positional arguments.
+
+use arrow_wan::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: arrow <command> [args]\n\
+     \n\
+     commands:\n\
+     \u{20}topology     <b4|ibm|facebook> [--seed N]\n\
+     \u{20}restore      <b4|ibm|facebook> --fiber N [--seed N] [--modulation-change true]\n\
+     \u{20}plan         <b4|ibm|facebook> [--tickets N] [--scenarios N] [--scale X] [--seed N]\n\
+     \u{20}availability <b4|ibm|facebook> [--scheme arrow|naive|ffc1|ffc2|teavar|ecmp]\n\
+     \u{20}             [--scale X] [--scenarios N] [--seed N]\n\
+     \u{20}latency      [--amps N]\n\
+     \u{20}mps          <b4|ibm|facebook> --out FILE [--seed N]\n\
+     \u{20}help"
+}
+
+/// Parses `--key value` flags after `skip` positional arguments.
+fn parse_flags(args: &[String], skip: usize) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().skip(skip);
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {k}"));
+        };
+        let Some(v) = it.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        flags.insert(key.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+    }
+}
+
+fn build_wan(name: &str, seed: u64) -> Result<Wan, String> {
+    match name {
+        "b4" => Ok(b4(seed)),
+        "ibm" => Ok(ibm(seed)),
+        "facebook" => Ok(facebook_like(seed)),
+        other => Err(format!("unknown topology {other} (expected b4|ibm|facebook)")),
+    }
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let wan = build_wan(name, flag(&flags, "seed", 17u64)?)?;
+    println!("{}", wan.summary());
+    wan.validate()?;
+    println!("total IP capacity: {:.1} Tbps", wan.total_capacity_gbps() / 1000.0);
+    let utils: Vec<f64> =
+        wan.optical.fibers().iter().map(|f| f.spectrum.utilization()).collect();
+    let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+    let max = utils.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "fiber spectrum utilization: mean {:.0}%, max {:.0}%, {} slots/fiber",
+        mean * 100.0,
+        max * 100.0,
+        wan.optical.num_slots()
+    );
+    let lpf = wan.ip_links_per_fiber();
+    println!(
+        "IP links per fiber: mean {:.1}, max {}",
+        lpf.iter().sum::<usize>() as f64 / lpf.len() as f64,
+        lpf.iter().max().unwrap_or(&0)
+    );
+    Ok(())
+}
+
+fn cmd_restore(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let wan = build_wan(name, flag(&flags, "seed", 17u64)?)?;
+    let fiber: usize = flag(&flags, "fiber", 0usize)?;
+    if fiber >= wan.optical.num_fibers() {
+        return Err(format!("fiber {fiber} out of range (< {})", wan.optical.num_fibers()));
+    }
+    let rwa = RwaConfig {
+        allow_modulation_change: flag(&flags, "modulation-change", true)?,
+        ..Default::default()
+    };
+    let cut = [FiberId(fiber)];
+    let failed = wan.links_failed_by(&cut);
+    println!("cutting fiber {fiber}: {} IP links fail", failed.len());
+    let sol = solve_relaxed(&wan.optical, &cut, &rwa);
+    let mut lost = 0.0;
+    let mut restored = 0.0;
+    for l in &sol.links {
+        let lp = wan.optical.lightpath(l.lightpath);
+        lost += lp.capacity_gbps();
+        restored += l.restored_gbps();
+        println!(
+            "  lightpath {:>3}: lost {:>2} λ ({:>6.0} Gbps) -> restorable {:>5.2} λ ({:>6.0} Gbps) over {} path(s)",
+            l.lightpath.0,
+            l.lost_wavelengths,
+            lp.capacity_gbps(),
+            l.wavelengths,
+            l.restored_gbps(),
+            l.paths.len()
+        );
+    }
+    println!(
+        "restoration ratio U = {:.0}% ({:.0} of {:.0} Gbps)",
+        if lost > 0.0 { restored / lost * 100.0 } else { 100.0 },
+        restored,
+        lost
+    );
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let seed = flag(&flags, "seed", 17u64)?;
+    let wan = build_wan(name, seed)?;
+    let failures = generate_failures(
+        &wan,
+        &FailureConfig {
+            max_scenarios: flag(&flags, "scenarios", 6usize)?,
+            ..Default::default()
+        },
+    );
+    let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+    let controller = ArrowController::new(
+        wan,
+        failures.failure_scenarios().to_vec(),
+        ControllerConfig {
+            lottery: LotteryConfig {
+                num_tickets: flag(&flags, "tickets", 8usize)?,
+                ..Default::default()
+            },
+            tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let scale: f64 = flag(&flags, "scale", 1.0f64)?;
+    let plan = controller.plan(&tms[0].scaled(scale));
+    let alloc = &plan.outcome.output.alloc;
+    println!(
+        "admitted {:.0} Gbps ({:.1}% of demand) | phase I {:.2}s + phase II {:.2}s",
+        alloc.total_admitted(),
+        100.0 * alloc.throughput(&plan.instance),
+        plan.outcome.phase1_seconds,
+        plan.outcome.phase2_seconds
+    );
+    println!("winning tickets: {:?}", plan.outcome.winning);
+    println!("{} ROADM reconfiguration rules pre-installed", plan.reconfig_rules.len());
+    for rule in plan.reconfig_rules.iter().take(10) {
+        let waves: usize = rule.routes.iter().map(|(_, s)| s.len()).sum();
+        println!(
+            "  scenario {:>2}: lightpath {:>3} -> {waves} λ over {} route(s)",
+            rule.scenario,
+            rule.lightpath.0,
+            rule.routes.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_availability(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let seed = flag(&flags, "seed", 17u64)?;
+    let wan = build_wan(name, seed)?;
+    let failures = generate_failures(
+        &wan,
+        &FailureConfig {
+            max_scenarios: flag(&flags, "scenarios", 8usize)?,
+            ..Default::default()
+        },
+    );
+    let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+    let inst = build_instance(
+        &wan,
+        &tms[0],
+        failures.failure_scenarios(),
+        &TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+    )
+    .scaled(flag(&flags, "scale", 1.0f64)?);
+    let scheme_name: String = flag(&flags, "scheme", "arrow".to_string())?;
+    let out = match scheme_name.as_str() {
+        "arrow" => {
+            let tickets = generate_tickets(
+                &wan,
+                &inst.scenarios,
+                &LotteryConfig { num_tickets: 8, ..Default::default() },
+            );
+            Arrow::new(tickets).solve(&inst)
+        }
+        "naive" => {
+            let lottery = LotteryConfig::default();
+            let naive: Vec<RestorationTicket> = inst
+                .scenarios
+                .iter()
+                .map(|s| naive_ticket(&wan, s, &lottery.rwa))
+                .collect();
+            ArrowNaive { tickets: naive, solver: Default::default() }.solve(&inst)
+        }
+        "ffc1" => Ffc::k1().solve(&inst),
+        "ffc2" => Ffc::k2().solve(&inst),
+        "teavar" => TeaVar::default().solve(&inst),
+        "ecmp" => Ecmp.solve(&inst),
+        other => return Err(format!("unknown scheme {other}")),
+    };
+    let cfg = PlaybackConfig::default();
+    let avail = availability(&inst, &out, &cfg);
+    let thr = play_scenario(&inst, &out.alloc, None, None, &cfg).satisfaction;
+    println!(
+        "{}: throughput {:.4}, availability {:.6} (over {} failure scenarios)",
+        out.alloc.scheme,
+        thr,
+        avail,
+        inst.scenarios.len()
+    );
+    Ok(())
+}
+
+fn cmd_latency(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, 0)?;
+    let mut tb = build_testbed();
+    let amps: usize = flag(&flags, "amps", 0usize)?;
+    if amps > 0 {
+        let chains = tb.amps.len().max(1);
+        for chain in tb.amps.iter_mut() {
+            chain.sites = amps / chains;
+        }
+    }
+    for (label, noise) in [("ARROW (noise loading)", true), ("legacy", false)] {
+        let r = restoration_trial(&tb, tb.fibers[3], noise, &RoadmParams::default());
+        println!(
+            "{label}: restored {:.0} of {:.0} Gbps in {:.1} s",
+            r.restored_gbps, r.lost_gbps, r.total_latency_s
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mps(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let out_path = flags.get("out").ok_or("--out FILE required")?.clone();
+    let wan = build_wan(name, flag(&flags, "seed", 17u64)?)?;
+    let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+    let inst = build_instance(
+        &wan,
+        &tms[0],
+        failures.failure_scenarios(),
+        &TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+    );
+    // Export the failure-oblivious TE LP (constraints (1)-(3)).
+    use arrow_wan::lp::model::{LinExpr, Model, Objective, Sense};
+    let mut model = Model::new();
+    let b: Vec<_> = inst
+        .flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| model.add_var(0.0, f.demand_gbps, format!("b{i}")))
+        .collect();
+    let a: Vec<_> =
+        (0..inst.tunnels.len()).map(|t| model.add_nonneg(format!("a{t}"))).collect();
+    for (i, f) in inst.flows.iter().enumerate() {
+        let mut e = LinExpr::sum_vars(f.tunnels.iter().map(|&t| a[t.0]));
+        e.add_term(b[i], -1.0);
+        model.add_con(e, Sense::Ge, 0.0, format!("cover{i}"));
+    }
+    for key in inst.used_dir_links() {
+        let users: Vec<_> = inst
+            .tunnels
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.hops.iter().any(|h| h.link == key.0 && h.forward == key.1))
+            .map(|(i, _)| a[i])
+            .collect();
+        model.add_con(
+            LinExpr::sum_vars(users),
+            Sense::Le,
+            inst.wan.link(key.0).capacity_gbps,
+            "cap",
+        );
+    }
+    model.set_objective(LinExpr::sum_vars(b), Objective::Maximize);
+    let mps = arrow_wan::lp::mps::to_mps(&model, &format!("arrow_{name}_maxflow"));
+    std::fs::write(&out_path, &mps).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "wrote {} ({} vars, {} rows) to {out_path}",
+        "MaxFlow TE LP",
+        model.num_vars(),
+        model.num_cons()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "topology" => cmd_topology(rest),
+        "restore" => cmd_restore(rest),
+        "plan" => cmd_plan(rest),
+        "availability" => cmd_availability(rest),
+        "latency" => cmd_latency(rest),
+        "mps" => cmd_mps(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

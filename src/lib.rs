@@ -1,0 +1,83 @@
+//! # arrow-wan — ARROW: Restoration-Aware Traffic Engineering
+//!
+//! A from-scratch Rust reproduction of *ARROW: Restoration-Aware Traffic
+//! Engineering* (Zhong et al., SIGCOMM 2021): when a WAN fiber is cut, the
+//! wavelengths it carried are reconfigured onto healthy surrogate fibers,
+//! and the traffic-engineering controller decides — jointly with the
+//! optical layer's constraints — *which* IP links to restore and by how
+//! much.
+//!
+//! The workspace splits along the paper's architecture; this umbrella
+//! crate re-exports everything for convenient use in examples and
+//! downstream code:
+//!
+//! * [`lp`] — LP/MILP solver toolkit (simplex, PDHG, branch & bound).
+//! * [`optical`] — fibers, spectrum, RWA, restoration analyses.
+//! * [`topology`] — B4/IBM/Facebook-like WANs, demands, failure models.
+//! * [`te`] — TE schemes: ECMP, MaxFlow, FFC, TeaVaR, ARROW Phase I/II.
+//! * [`core`] — LotteryTickets (Algorithm 1), Theorem 3.1, the controller.
+//! * [`sim`] — event-driven restoration-latency simulator (the testbed).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use arrow_wan::prelude::*;
+//!
+//! // Build the B4 WAN, traffic, and probabilistic fiber-cut scenarios.
+//! let wan = b4(17);
+//! let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+//! let failures = generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+//!
+//! // Offline: LotteryTickets; online: restoration-aware TE.
+//! let controller = ArrowController::new(
+//!     wan,
+//!     failures.failure_scenarios().to_vec(),
+//!     ControllerConfig {
+//!         lottery: LotteryConfig { num_tickets: 6, ..Default::default() },
+//!         tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+//!         ..Default::default()
+//!     },
+//! );
+//! let plan = controller.plan(&tms[0]);
+//! assert!(plan.outcome.output.alloc.total_admitted() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arrow_core as core;
+pub use arrow_lp as lp;
+pub use arrow_optical as optical;
+pub use arrow_sim as sim;
+pub use arrow_te as te;
+pub use arrow_topology as topology;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use arrow_core::{
+        fractional_seed, generate_tickets, kappa, naive_ticket, optimality_probability, realize_ticket,
+        tickets_for_target, ArrowController, ControllerConfig, LinkRounding, LotteryConfig,
+        ReconfigRule, RoundDirection, TePlan,
+    };
+    pub use arrow_lp::{Backend, LinExpr, Model, Objective, Sense, SolverConfig};
+    pub use arrow_optical::{
+        all_single_cut_ratios, empirical_cdf, greedy_assign, is_feasible, k_shortest_paths,
+        path_inflation_analysis, roadm_reconfig_count, solve_relaxed, FiberId, Lightpath,
+        LightpathId, ModulationTable, OpticalNetwork, RoadmId, RwaConfig, SpectrumMask,
+    };
+    pub use arrow_sim::{
+        build_testbed, restoration_trial, AmplifierChain, AmplifierParams, RoadmParams,
+    };
+    pub use arrow_te::{
+        build_instance, eval::availability, eval::availability_guaranteed_throughput,
+        eval::normalize_demand_scale, eval::play_scenario, eval::required_router_ports,
+        eval::PlaybackConfig, Arrow, ArrowNaive, Ecmp, Ffc, FlowId, MaxFlow,
+        RestorationTicket, SchemeOutput, TeaVar, TeInstance, TeScheme, TicketSet, TunnelConfig,
+        TunnelId,
+    };
+    pub use arrow_topology::{
+        b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig,
+        FailureModel, FailureScenario, IpLink, IpLinkId, SiteId, TrafficConfig, TrafficMatrix,
+        Wan,
+    };
+}
