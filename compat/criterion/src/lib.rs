@@ -1,0 +1,108 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Provides just enough of Criterion's surface for the workspace's
+//! micro-benchmarks: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `iter`, and the [`criterion_group!`]/
+//! [`criterion_main!`] macros. Instead of Criterion's statistical
+//! analysis, each benchmark runs `sample_size` timed iterations after one
+//! warm-up and prints min/mean/max wall-clock per iteration — adequate for
+//! the relative comparisons the bench harness reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { samples: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] whose `iter` call is
+    /// timed `sample_size` times (after one untimed warm-up).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { seconds: Vec::with_capacity(self.samples + 1) };
+        for _ in 0..self.samples + 1 {
+            f(&mut b);
+        }
+        // Drop the warm-up sample.
+        let timed = &b.seconds[1..];
+        let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0);
+        for &s in timed {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        println!(
+            "  {id}: mean {:.4}s min {:.4}s max {:.4}s ({} samples)",
+            sum / timed.len() as f64,
+            min,
+            max,
+            timed.len()
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Times one closure execution per call.
+pub struct Bencher {
+    seconds: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs and times `f` once, recording the duration as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.seconds.push(t0.elapsed().as_secs_f64());
+    }
+}
+
+/// Declares a function bundling several benchmark functions, like
+/// upstream's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,282 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the compat `serde`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! offline, so this macro parses the derive input token stream by hand. It
+//! supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (including private fields),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums whose variants are all unit variants (serialized as strings).
+//!
+//! Generics, `#[serde(...)]` attributes, and data-carrying enum variants
+//! are rejected with a compile error naming this file, so a future change
+//! that needs them fails loudly instead of mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive target.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { V1, V2 }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Target {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` depth so a
+/// type like `Vec<(A, B)>` does not split inside its generic arguments.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drops leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from a token slice, returning the remainder.
+fn strip_attrs_and_vis(mut tokens: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(_), rest @ ..] if p.as_char() == '#' => {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), TokenTree::Group(g), rest @ ..]
+                if i.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => {
+                tokens = rest;
+            }
+            _ => return tokens,
+        }
+    }
+}
+
+fn parse_target(input: TokenStream) -> Result<Target, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let (kind, rest) = match tokens {
+        [TokenTree::Ident(k), rest @ ..] => (k.to_string(), rest),
+        _ => return Err("serde compat derive: expected `struct` or `enum`".into()),
+    };
+    let (name, rest) = match rest {
+        [TokenTree::Ident(n), rest @ ..] => (n.to_string(), rest),
+        _ => return Err("serde compat derive: expected a type name".into()),
+    };
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde compat derive: generic type `{name}` is unsupported (see compat/serde_derive)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match rest {
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field in split_top_level_commas(&body) {
+                    let field = strip_attrs_and_vis(&field);
+                    match field {
+                        [] => continue,
+                        [TokenTree::Ident(f), TokenTree::Punct(c), ..] if c.as_char() == ':' => {
+                            fields.push(f.to_string());
+                        }
+                        _ => {
+                            return Err(format!(
+                                "serde compat derive: unparsable field in `{name}`"
+                            ))
+                        }
+                    }
+                }
+                Ok(Target { name, shape: Shape::Named(fields) })
+            }
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_top_level_commas(&body)
+                    .into_iter()
+                    .filter(|f| !strip_attrs_and_vis(f).is_empty())
+                    .count();
+                Ok(Target { name, shape: Shape::Tuple(n) })
+            }
+            [TokenTree::Punct(p), ..] if p.as_char() == ';' => {
+                Ok(Target { name, shape: Shape::Unit })
+            }
+            [] => Ok(Target { name, shape: Shape::Unit }),
+            _ => Err(format!("serde compat derive: unsupported struct shape for `{name}`")),
+        },
+        "enum" => match rest {
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for var in split_top_level_commas(&body) {
+                    let var = strip_attrs_and_vis(&var);
+                    match var {
+                        [] => continue,
+                        [TokenTree::Ident(v)] => variants.push(v.to_string()),
+                        _ => {
+                            return Err(format!(
+                                "serde compat derive: enum `{name}` has a non-unit \
+                                 variant, which is unsupported (see compat/serde_derive)"
+                            ))
+                        }
+                    }
+                }
+                Ok(Target { name, shape: Shape::UnitEnum(variants) })
+            }
+            _ => Err(format!("serde compat derive: unsupported enum shape for `{name}`")),
+        },
+        other => Err(format!("serde compat derive: cannot derive for `{other}`")),
+    }
+}
+
+/// `#[derive(Serialize)]` — emits `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = match parse_target(input) {
+        Ok(t) => t,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &target.name;
+    let body = match &target.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]` — emits `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = match parse_target(input) {
+        Ok(t) => t,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &target.name;
+    let body = match &target.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.get({f:?}).ok_or_else(|| \
+                         ::serde::DeError::missing_field({name:?}, {f:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::bad_type({name:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::bad_type({name:?}))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let __s = __v.as_str().ok_or_else(|| \
+                 ::serde::DeError::bad_type({name:?}))?;\n\
+                 match __s {{ {} _ => \
+                 ::std::result::Result::Err(::serde::DeError::bad_type({name:?})) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

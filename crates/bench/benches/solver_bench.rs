@@ -31,8 +31,7 @@ fn bench_te_lp_backends(c: &mut Criterion) {
     });
     group.bench_function("maxflow_pdhg_b4", |b| {
         b.iter(|| {
-            let mut scheme = MaxFlow::default();
-            scheme.solver = SolverConfig::first_order(1e-6);
+            let scheme = MaxFlow { solver: SolverConfig::first_order(1e-6) };
             std::hint::black_box(scheme.solve(&inst));
         })
     });

@@ -199,33 +199,9 @@ pub fn mean_availability(
     acc / s.instances.len() as f64
 }
 
-/// Runs `f` over `items` on all available cores, preserving order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock() = Some(r);
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
-}
+// The thread-scoped parallel map graduated from this harness into the
+// library proper; benches keep importing it from here.
+pub use arrow_core::par::{parallel_map, parallel_map_with};
 
 /// Largest demand scale (within the probed grid) at which `scheme` keeps
 /// availability at or above `target` — the Fig. 13/Table 5 readout.

@@ -13,7 +13,8 @@
 //! fibers) ready to install so the network reacts in seconds when a cut
 //! actually happens (§5).
 
-use crate::lottery::{generate_tickets, LotteryConfig};
+use crate::lottery::{generate_tickets_with_stats, LotteryConfig, OfflineStats};
+use crate::par::parallel_map;
 use arrow_optical::rwa::greedy_assign;
 use arrow_optical::FiberPath;
 use arrow_te::schemes::arrow::{Arrow, ArrowOutcome};
@@ -64,7 +65,50 @@ pub struct OfflineState {
     pub scenarios: Vec<FailureScenario>,
     /// LotteryTickets per scenario.
     pub tickets: TicketSet,
+    /// Measurements from the ticket-generation run that produced
+    /// `tickets` (empty when tickets were injected via
+    /// [`ArrowController::with_tickets`]).
+    pub stats: OfflineStats,
 }
+
+/// Why the online stage could not produce a [`TePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A scenario has no LotteryTickets, so Phase I has nothing to choose
+    /// from. Carries the index of the first offending scenario.
+    NoTickets {
+        /// Index of the first scenario with an empty ticket list.
+        scenario: usize,
+    },
+    /// The ticket set covers fewer scenarios than the controller tracks.
+    ScenarioMismatch {
+        /// Scenarios the controller tracks.
+        expected: usize,
+        /// Scenario entries present in the ticket set.
+        actual: usize,
+    },
+    /// The TE solve finished without a restoration plan (scenarios exist
+    /// but the solver returned none — indicates a scheme-level bug).
+    MissingRestorationPlan,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoTickets { scenario } => {
+                write!(f, "scenario {scenario} has no LotteryTickets; Phase I needs at least one (the naive ticket) per scenario")
+            }
+            PlanError::ScenarioMismatch { expected, actual } => {
+                write!(f, "ticket set covers {actual} scenarios but the controller tracks {expected}")
+            }
+            PlanError::MissingRestorationPlan => {
+                write!(f, "TE solve returned no restoration plan despite non-empty scenarios")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// The online-stage product for one TE epoch.
 #[derive(Debug, Clone)]
@@ -91,19 +135,48 @@ pub struct ArrowController {
 }
 
 impl ArrowController {
-    /// Runs the offline stage: ticket generation for the given scenarios.
+    /// Runs the offline stage: parallel ticket generation for the given
+    /// scenarios (see [`crate::par`]), keeping the per-scenario
+    /// [`OfflineStats`] in [`OfflineState::stats`].
     pub fn new(wan: Wan, scenarios: Vec<FailureScenario>, config: ControllerConfig) -> Self {
-        let tickets = generate_tickets(&wan, &scenarios, &config.lottery);
-        ArrowController { offline: OfflineState { scenarios, tickets }, wan, config }
+        let (tickets, stats) = generate_tickets_with_stats(&wan, &scenarios, &config.lottery);
+        ArrowController { offline: OfflineState { scenarios, tickets, stats }, wan, config }
     }
 
-    /// The offline state (scenarios + tickets).
+    /// Builds a controller around an externally produced ticket set,
+    /// skipping the offline generation entirely (tests, replaying a
+    /// serialized offline state, or exercising degenerate ticket sets).
+    pub fn with_tickets(
+        wan: Wan,
+        scenarios: Vec<FailureScenario>,
+        tickets: TicketSet,
+        config: ControllerConfig,
+    ) -> Self {
+        let stats = OfflineStats::default();
+        ArrowController { offline: OfflineState { scenarios, tickets, stats }, wan, config }
+    }
+
+    /// The offline state (scenarios + tickets + generation stats).
     pub fn offline(&self) -> &OfflineState {
         &self.offline
     }
 
     /// Runs one online TE epoch for the current traffic matrix.
-    pub fn plan(&self, tm: &TrafficMatrix) -> TePlan {
+    ///
+    /// Fails with [`PlanError`] when the offline state cannot support a
+    /// solve — a ticketless scenario or a scenario/ticket-set mismatch —
+    /// rather than panicking inside the TE scheme.
+    pub fn plan(&self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        let expected = self.offline.scenarios.len();
+        let actual = self.offline.tickets.per_scenario.len();
+        if actual != expected {
+            return Err(PlanError::ScenarioMismatch { expected, actual });
+        }
+        if let Some(scenario) =
+            self.offline.tickets.per_scenario.iter().position(|t| t.is_empty())
+        {
+            return Err(PlanError::NoTickets { scenario });
+        }
         let instance =
             build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
         let arrow = Arrow {
@@ -115,21 +188,31 @@ impl ArrowController {
         let splitting_ratios = (0..instance.flows.len())
             .map(|f| outcome.output.alloc.splitting_ratios(&instance, arrow_te::FlowId(f)))
             .collect();
-        let reconfig_rules = self.compile_rules(
-            outcome
-                .output
-                .restoration
-                .as_ref()
-                .expect("ARROW always returns a restoration plan"),
-        );
-        TePlan { outcome, splitting_ratios, reconfig_rules, instance }
+        let restoration = match outcome.output.restoration.as_deref() {
+            Some(plan) => plan,
+            None if expected == 0 => &[],
+            None => return Err(PlanError::MissingRestorationPlan),
+        };
+        let reconfig_rules = self.compile_rules(restoration);
+        Ok(TePlan { outcome, splitting_ratios, reconfig_rules, instance })
     }
 
     /// Compiles winning tickets into per-scenario ROADM rules by running
     /// the exact greedy wavelength assigner against each ticket's targets.
+    ///
+    /// Scenarios are independent, so the assignment fans out over the
+    /// [`crate::par`] pool; rule order matches the serial loop (scenario
+    /// order, then assigner order within a scenario).
     fn compile_rules(&self, plan: &[RestorationTicket]) -> Vec<ReconfigRule> {
-        let mut rules = Vec::new();
-        for (qi, (scen, ticket)) in self.offline.scenarios.iter().zip(plan).enumerate() {
+        let work: Vec<(usize, &FailureScenario, &RestorationTicket)> = self
+            .offline
+            .scenarios
+            .iter()
+            .zip(plan)
+            .enumerate()
+            .map(|(qi, (scen, ticket))| (qi, scen, ticket))
+            .collect();
+        let per_scenario = parallel_map(work, |&(qi, scen, ticket)| {
             let targets: Vec<_> = ticket
                 .restored
                 .iter()
@@ -141,7 +224,7 @@ impl ArrowController {
                 })
                 .collect();
             if targets.is_empty() {
-                continue;
+                return Vec::new();
             }
             let assigns = greedy_assign(
                 &self.wan.optical,
@@ -149,18 +232,13 @@ impl ArrowController {
                 &self.config.lottery.rwa,
                 Some(&targets),
             );
-            for a in assigns {
-                if a.routes.is_empty() {
-                    continue;
-                }
-                rules.push(ReconfigRule {
-                    scenario: qi,
-                    lightpath: a.lightpath,
-                    routes: a.routes,
-                });
-            }
-        }
-        rules
+            assigns
+                .into_iter()
+                .filter(|a| !a.routes.is_empty())
+                .map(|a| ReconfigRule { scenario: qi, lightpath: a.lightpath, routes: a.routes })
+                .collect()
+        });
+        per_scenario.into_iter().flatten().collect()
     }
 }
 
@@ -189,7 +267,7 @@ mod tests {
     #[test]
     fn end_to_end_plan_is_consistent() {
         let (ctl, tm) = controller();
-        let plan = ctl.plan(&tm.scaled(2.0));
+        let plan = ctl.plan(&tm.scaled(2.0)).expect("valid offline state plans cleanly");
         // Winning tickets exist for every scenario.
         assert_eq!(plan.outcome.winning.len(), ctl.offline().scenarios.len());
         // Splitting ratios normalize per flow.
@@ -215,8 +293,8 @@ mod tests {
     #[test]
     fn offline_state_reused_across_epochs() {
         let (ctl, tm) = controller();
-        let p1 = ctl.plan(&tm);
-        let p2 = ctl.plan(&tm.scaled(1.5));
+        let p1 = ctl.plan(&tm).unwrap();
+        let p2 = ctl.plan(&tm.scaled(1.5)).unwrap();
         // Same scenarios and tickets; different demands may change winners.
         assert_eq!(p1.outcome.winning.len(), p2.outcome.winning.len());
         assert!(p1.outcome.output.alloc.total_admitted() > 0.0);
@@ -226,11 +304,51 @@ mod tests {
     #[test]
     fn rules_respect_wavelength_counts() {
         let (ctl, tm) = controller();
-        let plan = ctl.plan(&tm.scaled(3.0));
+        let plan = ctl.plan(&tm.scaled(3.0)).unwrap();
         for rule in &plan.reconfig_rules {
             let assigned: usize = rule.routes.iter().map(|(_, s)| s.len()).sum();
             let lost = ctl.wan.optical.lightpath(rule.lightpath).wavelength_count();
             assert!(assigned <= lost, "restored more wavelengths than lost");
         }
+    }
+
+    #[test]
+    fn offline_stats_cover_every_scenario() {
+        let (ctl, _) = controller();
+        let stats = &ctl.offline().stats;
+        assert_eq!(stats.per_scenario.len(), ctl.offline().scenarios.len());
+        assert_eq!(stats.total_kept(), ctl.offline().tickets.total_tickets());
+        assert!(stats.threads >= 1);
+        assert!(stats.wall_seconds >= 0.0 && stats.work_seconds >= 0.0);
+    }
+
+    #[test]
+    fn ticketless_scenario_is_a_typed_error() {
+        let (ctl, tm) = controller();
+        // Rebuild the controller with one scenario's tickets emptied out:
+        // Phase I would have nothing to choose from there.
+        let mut tickets = ctl.offline().tickets.clone();
+        tickets.per_scenario[2].clear();
+        let hollow = ArrowController::with_tickets(
+            ctl.wan.clone(),
+            ctl.offline().scenarios.clone(),
+            tickets,
+            ctl.config.clone(),
+        );
+        assert!(matches!(hollow.plan(&tm), Err(PlanError::NoTickets { scenario: 2 })));
+
+        // And with a ticket set that covers too few scenarios.
+        let mut truncated = ctl.offline().tickets.clone();
+        truncated.per_scenario.pop();
+        let short = ArrowController::with_tickets(
+            ctl.wan.clone(),
+            ctl.offline().scenarios.clone(),
+            truncated,
+            ctl.config.clone(),
+        );
+        assert!(matches!(
+            short.plan(&tm),
+            Err(PlanError::ScenarioMismatch { expected: 5, actual: 4 })
+        ));
     }
 }

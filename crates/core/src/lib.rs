@@ -23,8 +23,14 @@
 
 pub mod controller;
 pub mod lottery;
+pub mod par;
 pub mod theorem;
 
-pub use controller::{ArrowController, ControllerConfig, ReconfigRule, TePlan};
-pub use lottery::{fractional_seed, generate_tickets, naive_ticket, realize_ticket, FractionalRestoration, LotteryConfig};
+pub use controller::{ArrowController, ControllerConfig, PlanError, ReconfigRule, TePlan};
+pub use lottery::{
+    derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
+    generate_tickets_with_stats, generate_tickets_with_threads, naive_ticket, realize_ticket,
+    FractionalRestoration, LotteryConfig, OfflineStats, ScenarioStats,
+};
+pub use par::{default_threads, parallel_map, parallel_map_with};
 pub use theorem::{kappa, optimality_probability, tickets_for_target, LinkRounding, RoundDirection};

@@ -48,7 +48,15 @@ pub struct LotteryConfig {
     pub include_naive: bool,
     /// RWA settings (surrogate paths, retuning, modulation).
     pub rwa: RwaConfig,
-    /// RNG seed.
+    /// Master RNG seed for ticket generation.
+    ///
+    /// Each scenario derives its own independent stream as
+    /// `StdRng::seed_from_u64(derive_seed(seed, scenario_index))` (see
+    /// [`derive_seed`]), so the ticket set for a scenario depends only on
+    /// `(seed, scenario_index, scenario, config)` — never on how many
+    /// threads the offline stage ran on, the order scenarios were
+    /// scheduled in, or how many tickets *other* scenarios drew. Equal
+    /// seeds give byte-identical [`TicketSet`]s on 1 thread and N.
     pub seed: u64,
 }
 
@@ -152,7 +160,11 @@ pub fn realize_ticket(
 }
 
 /// Rounds one fractional seed into integer wavelength counts (lines 4–11).
-fn round_once(rng: &mut StdRng, seed: &[FractionalRestoration], delta: usize) -> Vec<usize> {
+///
+/// Every count is in `[0, lost_wavelengths]` for its link (γ_e caps the
+/// round-up, zero floors the round-down) — `tests/proptest_core.rs` pins
+/// this for arbitrary fractional seeds.
+pub fn round_once(rng: &mut StdRng, seed: &[FractionalRestoration], delta: usize) -> Vec<usize> {
     seed.iter()
         .map(|f| {
             let lambda = f.wavelengths;
@@ -181,54 +193,240 @@ fn round_once(rng: &mut StdRng, seed: &[FractionalRestoration], delta: usize) ->
         .collect()
 }
 
+/// Derives the RNG seed for one scenario's ticket stream from the master
+/// seed — two rounds of splitmix64 over `(seed, index)`.
+///
+/// This is the offline stage's determinism contract: every scenario owns
+/// an independent `StdRng` derived only from `(cfg.seed, scenario_index)`,
+/// so scenarios can be generated in any order, on any number of threads,
+/// and still produce byte-identical tickets. The mixing is splitmix64
+/// (Steele et al.), whose avalanche keeps adjacent indices' streams
+/// uncorrelated even though indices differ by one bit.
+pub fn derive_seed(seed: u64, scenario_index: u64) -> u64 {
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    splitmix(seed ^ splitmix(scenario_index))
+}
+
+/// Per-scenario offline-stage measurements (one entry of
+/// [`OfflineStats`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Index of the scenario in the input slice.
+    pub scenario: usize,
+    /// Seconds spent in the relaxed-RWA solve seeding the rounding.
+    pub rwa_seconds: f64,
+    /// Total seconds of work for this scenario (RWA + rounding + filter).
+    pub seconds: f64,
+    /// Rounding draws attempted (Algorithm 1's |Z| budget).
+    pub rounds: usize,
+    /// Draws dropped by the optical feasibility filter.
+    pub infeasible: usize,
+    /// Feasible draws dropped as duplicates of an earlier ticket.
+    pub duplicates: usize,
+    /// Tickets kept for this scenario.
+    pub kept: usize,
+    /// Whether the always-realizable naive candidate was added as a
+    /// fallback because every rounded draw was filtered.
+    pub naive_fallback: bool,
+}
+
+/// Offline-stage report: what Algorithm 1 did per scenario, and how the
+/// wall clock compared to the serial work sum.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineStats {
+    /// Per-scenario measurements, parallel to the scenario slice.
+    pub per_scenario: Vec<ScenarioStats>,
+    /// End-to-end wall-clock seconds for the offline stage.
+    pub wall_seconds: f64,
+    /// Sum of per-scenario work seconds (the serial-equivalent cost).
+    pub work_seconds: f64,
+    /// Worker threads the stage ran on.
+    pub threads: usize,
+}
+
+impl OfflineStats {
+    /// Total tickets kept across scenarios.
+    pub fn total_kept(&self) -> usize {
+        self.per_scenario.iter().map(|s| s.kept).sum()
+    }
+
+    /// Total draws dropped by the feasibility filter.
+    pub fn total_infeasible(&self) -> usize {
+        self.per_scenario.iter().map(|s| s.infeasible).sum()
+    }
+
+    /// Total feasible draws dropped as duplicates.
+    pub fn total_duplicates(&self) -> usize {
+        self.per_scenario.iter().map(|s| s.duplicates).sum()
+    }
+
+    /// Parallel speedup actually realized: work seconds / wall seconds.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.work_seconds / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line human summary (printed by the controller example and the
+    /// offline-sweep binary).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenarios -> {} tickets ({} infeasible, {} duplicate) on {} thread(s): \
+             {:.2}s wall, {:.2}s work, {:.2}x speedup",
+            self.per_scenario.len(),
+            self.total_kept(),
+            self.total_infeasible(),
+            self.total_duplicates(),
+            self.threads,
+            self.wall_seconds,
+            self.work_seconds,
+            self.speedup()
+        )
+    }
+}
+
+/// Algorithm 1 for a single scenario, on its own derived RNG stream.
+///
+/// This is the unit of work both the serial reference and the parallel
+/// pool execute; it depends only on `(wan, scen, index, cfg)`.
+fn scenario_tickets(
+    wan: &Wan,
+    scen: &FailureScenario,
+    index: usize,
+    cfg: &LotteryConfig,
+) -> (Vec<RestorationTicket>, ScenarioStats) {
+    let t_start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, index as u64));
+    let seed = fractional_seed(wan, scen, &cfg.rwa);
+    let rwa_seconds = t_start.elapsed().as_secs_f64();
+    let mut stats = ScenarioStats {
+        scenario: index,
+        rwa_seconds,
+        seconds: 0.0,
+        rounds: 0,
+        infeasible: 0,
+        duplicates: 0,
+        kept: 0,
+        naive_fallback: false,
+    };
+    let mut tickets: Vec<RestorationTicket> = Vec::new();
+    if cfg.include_naive {
+        tickets.push(naive_ticket(wan, scen, &cfg.rwa));
+    }
+    for _ in tickets.len()..cfg.num_tickets {
+        stats.rounds += 1;
+        let counts = round_once(&mut rng, &seed, cfg.delta);
+        if cfg.feasibility_filter {
+            let targets: Vec<_> = seed
+                .iter()
+                .zip(&counts)
+                .map(|(f, &c)| (wan.link(f.link).lightpath, c))
+                .collect();
+            if !is_feasible(&wan.optical, &scen.cut_fibers, &cfg.rwa, &targets) {
+                stats.infeasible += 1;
+                continue;
+            }
+        }
+        let ticket = RestorationTicket {
+            restored: seed
+                .iter()
+                .zip(&counts)
+                .map(|(f, &c)| (f.link, c as f64 * f.gbps_per_wavelength))
+                .collect(),
+        };
+        if !cfg.dedupe || !tickets.contains(&ticket) {
+            tickets.push(ticket);
+        } else {
+            stats.duplicates += 1;
+        }
+    }
+    if tickets.is_empty() {
+        // Every rounded candidate was infeasible: fall back to the
+        // always-realizable greedy candidate so the TE has one.
+        tickets.push(naive_ticket(wan, scen, &cfg.rwa));
+        stats.naive_fallback = true;
+    }
+    stats.kept = tickets.len();
+    stats.seconds = t_start.elapsed().as_secs_f64();
+    (tickets, stats)
+}
+
 /// Generates the LotteryTicket set for every scenario (Algorithm 1 applied
-/// per scenario, plus the always-feasible naive ticket).
+/// per scenario, plus the always-feasible naive fallback), fanned out over
+/// [`crate::par::default_threads`] worker threads.
+///
+/// Output is identical for every thread count — see
+/// [`LotteryConfig::seed`] and [`generate_tickets_serial`].
 pub fn generate_tickets(
     wan: &Wan,
     scenarios: &[FailureScenario],
     cfg: &LotteryConfig,
 ) -> TicketSet {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let per_scenario = scenarios
-        .iter()
-        .map(|scen| {
-            let seed = fractional_seed(wan, scen, &cfg.rwa);
-            let mut tickets: Vec<RestorationTicket> = Vec::new();
-            if cfg.include_naive {
-                tickets.push(naive_ticket(wan, scen, &cfg.rwa));
-            }
-            for _ in tickets.len()..cfg.num_tickets {
-                let counts = round_once(&mut rng, &seed, cfg.delta);
-                if cfg.feasibility_filter {
-                    let targets: Vec<_> = seed
-                        .iter()
-                        .zip(&counts)
-                        .map(|(f, &c)| (wan.link(f.link).lightpath, c))
-                        .collect();
-                    if !is_feasible(&wan.optical, &scen.cut_fibers, &cfg.rwa, &targets) {
-                        continue;
-                    }
-                }
-                let ticket = RestorationTicket {
-                    restored: seed
-                        .iter()
-                        .zip(&counts)
-                        .map(|(f, &c)| (f.link, c as f64 * f.gbps_per_wavelength))
-                        .collect(),
-                };
-                if !cfg.dedupe || !tickets.contains(&ticket) {
-                    tickets.push(ticket);
-                }
-            }
-            if tickets.is_empty() {
-                // Every rounded candidate was infeasible: fall back to the
-                // always-realizable greedy candidate so the TE has one.
-                tickets.push(naive_ticket(wan, scen, &cfg.rwa));
-            }
-            tickets
-        })
-        .collect();
-    TicketSet { per_scenario }
+    generate_tickets_with_stats(wan, scenarios, cfg).0
+}
+
+/// [`generate_tickets`] plus the [`OfflineStats`] report.
+pub fn generate_tickets_with_stats(
+    wan: &Wan,
+    scenarios: &[FailureScenario],
+    cfg: &LotteryConfig,
+) -> (TicketSet, OfflineStats) {
+    generate_tickets_with_threads(wan, scenarios, cfg, crate::par::default_threads())
+}
+
+/// [`generate_tickets_with_stats`] with an explicit worker count (the
+/// determinism regression tests pin 1/2/N threads through this).
+pub fn generate_tickets_with_threads(
+    wan: &Wan,
+    scenarios: &[FailureScenario],
+    cfg: &LotteryConfig,
+    threads: usize,
+) -> (TicketSet, OfflineStats) {
+    let t0 = std::time::Instant::now();
+    let indices: Vec<usize> = (0..scenarios.len()).collect();
+    let results = crate::par::parallel_map_with(threads, indices, |&i| {
+        scenario_tickets(wan, &scenarios[i], i, cfg)
+    });
+    let mut per_scenario = Vec::with_capacity(results.len());
+    let mut stats = OfflineStats {
+        per_scenario: Vec::with_capacity(results.len()),
+        wall_seconds: 0.0,
+        work_seconds: 0.0,
+        threads: threads.max(1),
+    };
+    for (tickets, s) in results {
+        stats.work_seconds += s.seconds;
+        stats.per_scenario.push(s);
+        per_scenario.push(tickets);
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    (TicketSet { per_scenario }, stats)
+}
+
+/// The documented serial reference for the determinism contract: plain
+/// `iter().map()` over [`scenario_tickets`] with no thread pool at all.
+///
+/// `generate_tickets` (any thread count) must produce a `TicketSet` equal
+/// to this — `crates/core/tests/determinism.rs` enforces it.
+pub fn generate_tickets_serial(
+    wan: &Wan,
+    scenarios: &[FailureScenario],
+    cfg: &LotteryConfig,
+) -> TicketSet {
+    TicketSet {
+        per_scenario: scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, scen)| scenario_tickets(wan, scen, i, cfg).0)
+            .collect(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! Scenario-parallel execution for the offline stage.
+//!
+//! ARROW's offline stage (Algorithm 1) is embarrassingly parallel: one
+//! relaxed-RWA solve plus randomized rounding *per failure scenario*, with
+//! no cross-scenario state. This module provides the thread-scoped map the
+//! library (and the bench harness, which re-exports it) fans that work out
+//! with.
+//!
+//! Design notes, per DESIGN.md's synchronous CPU-bound rationale:
+//!
+//! * **`std` only.** Workers are `std::thread::scope` threads pulling
+//!   indices from an atomic counter and returning `(index, result)` pairs
+//!   over an `mpsc` channel; the caller reassembles results in input
+//!   order. No `crossbeam`/`parking_lot`/`rayon` — the build environment
+//!   vendors no external crates, and `std` covers this pattern cleanly.
+//! * **Sizing.** The pool defaults to [`std::thread::available_parallelism`]
+//!   and can be overridden with the `ARROW_THREADS` environment variable
+//!   (any integer ≥ 1), e.g. `ARROW_THREADS=1` to force serial execution
+//!   when profiling or bisecting.
+//! * **Determinism.** `parallel_map` only controls *where* each item runs,
+//!   never *what* it computes: `f` receives the item (at its original
+//!   index) and results are returned in input order, so any `f` that
+//!   depends only on its item yields output identical to `items.iter()
+//!   .map(f)` for every thread count and scheduling. The offline stage
+//!   pairs this with per-scenario RNG derivation
+//!   ([`crate::lottery::derive_seed`]) so ticket generation is
+//!   scheduling-independent end to end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable overriding the worker-thread count (≥ 1).
+pub const THREADS_ENV: &str = "ARROW_THREADS";
+
+/// The worker count used by [`parallel_map`]: the `ARROW_THREADS`
+/// environment variable if set to an integer ≥ 1, else
+/// [`std::thread::available_parallelism`] (falling back to 4 when that is
+/// unavailable).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// Runs `f` over `items` on [`default_threads`] workers, preserving order.
+///
+/// Equivalent to `items.iter().map(|t| f(t)).collect()` for any `f` whose
+/// output depends only on its input — see the module docs on determinism.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(default_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by the
+/// determinism tests to pin 1/2/N threads regardless of environment).
+///
+/// `threads` is clamped to `[1, items.len()]`; with one worker (or one
+/// item) the map runs inline on the calling thread with no pool at all.
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (items_ref, f_ref, next_ref) = (&items, &f, &next);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f_ref(&items_ref[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced exactly one result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |&x: &i32| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = parallel_map_with(threads, items.clone(), |&x| x.wrapping_mul(x) ^ 17);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map_with(8, vec![7], |&x: &i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

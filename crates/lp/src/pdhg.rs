@@ -135,16 +135,16 @@ fn kkt_residuals(s: &Scaled, x: &[f64], y: &[f64], kx: &mut [f64], kty: &mut [f6
     let cn = s.c.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     // Primal residual: violations of Kx >= q (eq rows: |Kx - q|).
     let mut pr = 0.0f64;
-    for i in 0..m {
-        let r = s.q[i] - kx[i];
+    for (i, &kxi) in kx.iter().enumerate().take(m) {
+        let r = s.q[i] - kxi;
         let v = if s.is_eq[i] { r.abs() } else { r.max(0.0) };
         pr = pr.max(v);
     }
     // Dual residual on reduced costs r = c - K'y given box constraints.
     let mut dr = 0.0f64;
     let mut dual_obj: f64 = s.q.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
-    for j in 0..s.c.len() {
-        let r = s.c[j] - kty[j];
+    for (j, &ktyj) in kty.iter().enumerate().take(s.c.len()) {
+        let r = s.c[j] - ktyj;
         if r > 0.0 {
             if s.lb[j].is_finite() {
                 dual_obj += s.lb[j] * r;
@@ -244,7 +244,7 @@ pub fn solve(lp: &StandardLp, cfg: &PdhgConfig) -> Solution {
             y_avg[i] += (y[i] - y_avg[i]) * w;
         }
 
-        if iterations % cfg.check_every != 0 {
+        if !iterations.is_multiple_of(cfg.check_every) {
             continue;
         }
         if start.elapsed().as_secs_f64() > cfg.time_limit {

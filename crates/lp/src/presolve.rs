@@ -176,8 +176,8 @@ pub fn presolve(lp: &StandardLp) -> PresolveResult {
     // Assemble the reduced problem.
     let mut assignment = Vec::with_capacity(n);
     let mut new_index = 0usize;
-    for j in 0..n {
-        match fixed[j] {
+    for fate in fixed.iter().take(n) {
+        match *fate {
             Some(v) => assignment.push(VarFate::Fixed(v)),
             None => {
                 assignment.push(VarFate::Kept(new_index));

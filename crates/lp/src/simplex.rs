@@ -348,8 +348,8 @@ impl<'a> Simplex<'a> {
         }
         for pos in 0..m {
             let mut acc = 0.0;
-            for k in 0..m {
-                acc += self.binv[pos * m + k] * resid[k];
+            for (k, &rk) in resid.iter().enumerate().take(m) {
+                acc += self.binv[pos * m + k] * rk;
             }
             self.x[self.basis[pos]] = acc;
         }
@@ -403,7 +403,7 @@ impl<'a> Simplex<'a> {
                     enter = Some((j, d, score));
                     break;
                 }
-                if enter.map_or(true, |(_, _, s)| score > s) {
+                if enter.is_none_or(|(_, _, s)| score > s) {
                     enter = Some((j, d, score));
                 }
             }
@@ -556,9 +556,9 @@ fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
     // Trivial case: no constraints — each variable sits at its best bound.
     if m == 0 {
         let mut x = vec![0.0; n];
-        for j in 0..n {
+        for (j, xj) in x.iter_mut().enumerate().take(n) {
             let c = lp.obj[j];
-            x[j] = if c > 0.0 {
+            *xj = if c > 0.0 {
                 lp.lb[j]
             } else if c < 0.0 {
                 lp.ub[j]
@@ -567,7 +567,7 @@ fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
             } else {
                 lp.ub[j].min(0.0).max(lp.lb[j])
             };
-            if !x[j].is_finite() {
+            if !xj.is_finite() {
                 return Solution::failed(Status::Unbounded, n, m);
             }
         }

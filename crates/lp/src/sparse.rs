@@ -118,12 +118,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64], out: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(out.len(), self.rows);
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate().take(self.rows) {
             let mut acc = 0.0;
             for p in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[p] * x[self.col_idx[p]];
             }
-            out[i] = acc;
+            *out_i = acc;
         }
     }
 
@@ -132,8 +132,7 @@ impl CsrMatrix {
         debug_assert_eq!(y.len(), self.rows);
         debug_assert_eq!(out.len(), self.cols);
         out.fill(0.0);
-        for i in 0..self.rows {
-            let yi = y[i];
+        for (i, &yi) in y.iter().enumerate().take(self.rows) {
             if yi == 0.0 {
                 continue;
             }
@@ -146,9 +145,9 @@ impl CsrMatrix {
     /// Infinity norm (max absolute value) of each row.
     pub fn row_inf_norms(&self) -> Vec<f64> {
         let mut norms = vec![0.0f64; self.rows];
-        for i in 0..self.rows {
+        for (i, norm) in norms.iter_mut().enumerate().take(self.rows) {
             for p in self.row_ptr[i]..self.row_ptr[i + 1] {
-                norms[i] = norms[i].max(self.values[p].abs());
+                *norm = norm.max(self.values[p].abs());
             }
         }
         norms
@@ -169,9 +168,9 @@ impl CsrMatrix {
     pub fn scale(&mut self, row_scale: &[f64], col_scale: &[f64]) {
         debug_assert_eq!(row_scale.len(), self.rows);
         debug_assert_eq!(col_scale.len(), self.cols);
-        for i in 0..self.rows {
+        for (i, &rs) in row_scale.iter().enumerate().take(self.rows) {
             for p in self.row_ptr[i]..self.row_ptr[i + 1] {
-                self.values[p] *= row_scale[i] * col_scale[self.col_idx[p]];
+                self.values[p] *= rs * col_scale[self.col_idx[p]];
             }
         }
     }
@@ -346,7 +345,7 @@ mod tests {
     fn spectral_norm_estimate_bounds_identity() {
         let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
         let n = m.spectral_norm_estimate(50);
-        assert!(n >= 1.0 && n < 1.1, "estimate {n}");
+        assert!((1.0..1.1).contains(&n), "estimate {n}");
     }
 
     #[test]

@@ -151,9 +151,13 @@ pub fn solve_relaxed(net: &OpticalNetwork, cut: &[FiberId], cfg: &RwaConfig) -> 
     let mut model = Model::new();
     // var_index[(link_idx, path_idx)] -> per-slot variables (slot, VarId)
     let mut slot_vars: Vec<Vec<Vec<(usize, arrow_lp::VarId)>>> = Vec::new();
-    // Per (fiber, slot): variables that would occupy it.
-    use std::collections::HashMap;
-    let mut usage: HashMap<(usize, usize), Vec<arrow_lp::VarId>> = HashMap::new();
+    // Per (fiber, slot): variables that would occupy it. BTreeMap, not
+    // HashMap: constraint (14) rows are emitted by iterating this map, and
+    // the LP's resolution of degenerate ties follows row order — hash-seed
+    // iteration order would make solutions differ per process and per
+    // worker thread, breaking the offline stage's determinism contract.
+    use std::collections::BTreeMap;
+    let mut usage: BTreeMap<(usize, usize), Vec<arrow_lp::VarId>> = BTreeMap::new();
 
     for (e, (id, paths, _)) in cands.iter().enumerate() {
         let lp = net.lightpath(*id);
@@ -345,7 +349,7 @@ pub fn is_feasible(
     targets: &[(LightpathId, usize)],
 ) -> bool {
     let mut ordered: Vec<(LightpathId, usize)> = targets.to_vec();
-    ordered.sort_by(|a, b| b.1.cmp(&a.1));
+    ordered.sort_by_key(|&(_, want)| std::cmp::Reverse(want));
     let assignments = greedy_assign(net, cut, cfg, Some(&ordered));
     targets.iter().all(|&(id, want)| {
         assignments

@@ -220,7 +220,7 @@ mod tests {
         let tb = build_testbed();
         let total: usize = tb.amps.iter().map(|c| c.sites).sum();
         assert_eq!(total, 34);
-        assert_eq!(tb.net.path_length_km(&tb.fibers.to_vec()), 2160.0);
+        assert_eq!(tb.net.path_length_km(tb.fibers.as_ref()), 2160.0);
     }
 
     #[test]

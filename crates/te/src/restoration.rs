@@ -56,7 +56,11 @@ impl RestorationTicket {
 
 /// All restoration candidates for every failure scenario, parallel to the
 /// instance's scenario list: `tickets[q]` holds `Z^q`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` is structural and exact (bitwise on the Gbps values) — the
+/// offline stage's determinism tests rely on it to assert byte-identical
+/// generation across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TicketSet {
     /// Per-scenario ticket lists.
     pub per_scenario: Vec<Vec<RestorationTicket>>,
@@ -77,6 +81,41 @@ impl TicketSet {
     /// Largest per-scenario ticket count.
     pub fn max_tickets(&self) -> usize {
         self.per_scenario.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Total tickets across all scenarios.
+    pub fn total_tickets(&self) -> usize {
+        self.per_scenario.iter().map(|t| t.len()).sum()
+    }
+
+    /// An order-sensitive 64-bit digest of the full set (FNV-1a over the
+    /// structure and the exact bit patterns of every Gbps value).
+    ///
+    /// Two sets digest equal iff they are `==`; the determinism tests use
+    /// it for a compact cross-thread-count fingerprint, and it is cheap
+    /// enough to log per offline run.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.per_scenario.len() as u64);
+        for tickets in &self.per_scenario {
+            mix(tickets.len() as u64);
+            for t in tickets {
+                mix(t.restored.len() as u64);
+                for &(link, gbps) in &t.restored {
+                    mix(link.0 as u64);
+                    mix(gbps.to_bits());
+                }
+            }
+        }
+        h
     }
 }
 

@@ -205,7 +205,7 @@ fn provision_ip_layer(
         for &((a, b), w) in &pair_weights {
             if a == i || b == i {
                 let peer = if a == i { b } else { a };
-                if best.map_or(true, |(_, bw)| w > bw) {
+                if best.is_none_or(|(_, bw)| w > bw) {
                     best = Some((peer, w));
                 }
             }
@@ -343,12 +343,12 @@ pub fn facebook_like(seed: u64) -> Wan {
             if !in_tree[a] {
                 continue;
             }
-            for b in 0..n_roadms {
-                if in_tree[b] {
+            for (b, &bt) in in_tree.iter().enumerate().take(n_roadms) {
+                if bt {
                     continue;
                 }
                 let d = dist(a, b);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((a, b, d));
                 }
             }

@@ -97,8 +97,8 @@ pub fn generate(wan: &Wan, cfg: &FailureConfig) -> FailureModel {
 
     let mut scenarios = Vec::new();
     // Single cuts.
-    for f in 0..nf {
-        let p = healthy_prob / (1.0 - fiber_prob[f]) * fiber_prob[f];
+    for (f, &pf) in fiber_prob.iter().enumerate().take(nf) {
+        let p = healthy_prob / (1.0 - pf) * pf;
         if p >= cfg.cutoff {
             let cut = vec![FiberId(f)];
             let failed_links = wan.links_failed_by(&cut);

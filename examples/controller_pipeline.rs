@@ -30,6 +30,7 @@ fn main() {
     let controller =
         ArrowController::new(wan, failures.failure_scenarios().to_vec(), config);
     println!("offline: {} failure scenarios considered", controller.offline().scenarios.len());
+    println!("offline: {}", controller.offline().stats.summary());
     for (qi, (scen, tickets)) in controller
         .offline()
         .scenarios
@@ -64,7 +65,7 @@ fn main() {
 
     // ---- Online stage (one epoch per traffic matrix) ----------------------
     for (epoch, tm) in tms.iter().enumerate() {
-        let plan = controller.plan(&tm.scaled(2.0));
+        let plan = controller.plan(&tm.scaled(2.0)).expect("offline state is complete");
         let alloc = &plan.outcome.output.alloc;
         println!(
             "\nepoch {epoch}: admitted {:.0} Gbps ({:.1}% of demand), \

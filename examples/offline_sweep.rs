@@ -1,0 +1,82 @@
+//! Thread sweep over the parallel offline stage (ticket generation).
+//!
+//! Runs Algorithm 1 on the same scenario set at 1, 2, 4, … worker threads
+//! and prints the `OfflineStats` line for each, plus a per-scenario table
+//! for the widest run. Because every scenario draws from its own derived
+//! RNG stream (`derive_seed`), every row of the sweep produces the exact
+//! same `TicketSet` — the digest column proves it — while the wall clock
+//! drops with added threads.
+//!
+//! Run: `cargo run --release --example offline_sweep`
+//! (`ARROW_THREADS` caps the widest run.)
+
+use arrow_wan::prelude::*;
+
+fn main() {
+    let wan = ibm(17);
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 12, ..Default::default() });
+    let scens = failures.failure_scenarios().to_vec();
+    let cfg = LotteryConfig { num_tickets: 40, ..Default::default() };
+    println!("== offline-stage thread sweep: {} ==", wan.summary());
+    println!("{} scenarios, |Z| = {} tickets requested per scenario\n", scens.len(), cfg.num_tickets);
+
+    // Sweep fixed thread counts regardless of the host's core count: on a
+    // multicore machine the wall-clock column drops accordingly; on a
+    // single-core host the >1-thread rows still exercise real concurrent
+    // scheduling (the stronger determinism check) at ~1.0x.
+    let max_threads = arrow_wan::core::par::default_threads();
+    let mut sweep: Vec<usize> = vec![1, 2, 4, 8];
+    if !sweep.contains(&max_threads) {
+        sweep.push(max_threads);
+        sweep.sort_unstable();
+    }
+    println!("host reports {max_threads} available thread(s)\n");
+
+    let mut serial_wall = None;
+    let mut digests = Vec::new();
+    let mut last_stats: Option<OfflineStats> = None;
+    for &threads in &sweep {
+        let (set, stats) = generate_tickets_with_threads(&wan, &scens, &cfg, threads);
+        let speedup_vs_serial = match serial_wall {
+            None => {
+                serial_wall = Some(stats.wall_seconds);
+                1.0
+            }
+            Some(base) => base / stats.wall_seconds.max(1e-12),
+        };
+        println!(
+            "threads {:>2}: {}  | vs 1-thread wall: {:.2}x | digest {:016x}",
+            threads,
+            stats.summary(),
+            speedup_vs_serial,
+            set.digest()
+        );
+        digests.push(set.digest());
+        last_stats = Some(stats);
+    }
+
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "determinism violated: TicketSet digest changed with thread count"
+    );
+    println!("\nall {} runs produced the identical TicketSet (digest match)", digests.len());
+
+    if let Some(stats) = last_stats {
+        println!("\nper-scenario breakdown (widest run):");
+        println!("  scen |   rwa s |  total s | rounds | infeas | dup | kept | naive-fallback");
+        for s in &stats.per_scenario {
+            println!(
+                "  {:>4} | {:>7.3} | {:>8.3} | {:>6} | {:>6} | {:>3} | {:>4} | {}",
+                s.scenario,
+                s.rwa_seconds,
+                s.seconds,
+                s.rounds,
+                s.infeasible,
+                s.duplicates,
+                s.kept,
+                if s.naive_fallback { "yes" } else { "no" }
+            );
+        }
+    }
+}

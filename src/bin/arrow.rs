@@ -165,8 +165,9 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         },
     );
     let scale: f64 = flag(&flags, "scale", 1.0f64)?;
-    let plan = controller.plan(&tms[0].scaled(scale));
+    let plan = controller.plan(&tms[0].scaled(scale)).map_err(|e| e.to_string())?;
     let alloc = &plan.outcome.output.alloc;
+    println!("offline: {}", controller.offline().stats.summary());
     println!(
         "admitted {:.0} Gbps ({:.1}% of demand) | phase I {:.2}s + phase II {:.2}s",
         alloc.total_admitted(),
@@ -315,8 +316,7 @@ fn cmd_mps(args: &[String]) -> Result<(), String> {
     let mps = arrow_wan::lp::mps::to_mps(&model, &format!("arrow_{name}_maxflow"));
     std::fs::write(&out_path, &mps).map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
-        "wrote {} ({} vars, {} rows) to {out_path}",
-        "MaxFlow TE LP",
+        "wrote MaxFlow TE LP ({} vars, {} rows) to {out_path}",
         model.num_vars(),
         model.num_cons()
     );

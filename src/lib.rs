@@ -38,7 +38,7 @@
 //!         ..Default::default()
 //!     },
 //! );
-//! let plan = controller.plan(&tms[0]);
+//! let plan = controller.plan(&tms[0]).expect("every scenario has tickets");
 //! assert!(plan.outcome.output.alloc.total_admitted() > 0.0);
 //! ```
 
@@ -55,9 +55,11 @@ pub use arrow_topology as topology;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use arrow_core::{
-        fractional_seed, generate_tickets, kappa, naive_ticket, optimality_probability, realize_ticket,
-        tickets_for_target, ArrowController, ControllerConfig, LinkRounding, LotteryConfig,
-        ReconfigRule, RoundDirection, TePlan,
+        derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
+        generate_tickets_with_stats, generate_tickets_with_threads, kappa, naive_ticket,
+        optimality_probability, realize_ticket, tickets_for_target, ArrowController,
+        ControllerConfig, LinkRounding, LotteryConfig, OfflineStats, PlanError, ReconfigRule,
+        RoundDirection, ScenarioStats, TePlan,
     };
     pub use arrow_lp::{Backend, LinExpr, Model, Objective, Sense, SolverConfig};
     pub use arrow_optical::{

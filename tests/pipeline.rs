@@ -108,7 +108,7 @@ fn controller_pipeline_on_ibm() {
             ..Default::default()
         },
     );
-    let plan = controller.plan(&tms[0]);
+    let plan = controller.plan(&tms[0]).expect("complete offline state");
     assert_eq!(plan.outcome.winning.len(), 4);
     // Reconfig rules must not oversubscribe spectrum: every (fiber, slot)
     // appears at most once per scenario.
