@@ -17,7 +17,7 @@ use crate::lottery::{generate_tickets_with_stats, LotteryConfig, OfflineStats};
 use crate::par::parallel_map;
 use arrow_optical::rwa::greedy_assign;
 use arrow_optical::FiberPath;
-use arrow_te::schemes::arrow::{Arrow, ArrowOutcome};
+use arrow_te::schemes::arrow::{Arrow, ArrowOnline, ArrowOutcome};
 use arrow_te::tunnels::{build_instance, TeInstance, TunnelConfig};
 use arrow_te::{RestorationTicket, TicketSet};
 use arrow_topology::{FailureScenario, TrafficMatrix, Wan};
@@ -124,6 +124,18 @@ pub struct TePlan {
     pub instance: TeInstance,
 }
 
+/// Cached online-stage state for [`ArrowController::plan_warm`]: the
+/// expensive tunnel computation and Phase I skeleton are built on the
+/// first call and re-used (with patched demands) on every later one.
+#[derive(Debug, Clone)]
+struct OnlineCache {
+    /// Instance built on the first warm call; later calls only swap
+    /// demands via [`TeInstance::with_demands`].
+    instance: TeInstance,
+    /// Incremental two-phase solver carrying warm starts across epochs.
+    online: ArrowOnline,
+}
+
 /// The ARROW controller.
 #[derive(Debug, Clone)]
 pub struct ArrowController {
@@ -132,6 +144,7 @@ pub struct ArrowController {
     /// Controller settings.
     pub config: ControllerConfig,
     offline: OfflineState,
+    online: Option<OnlineCache>,
 }
 
 impl ArrowController {
@@ -140,7 +153,12 @@ impl ArrowController {
     /// [`OfflineStats`] in [`OfflineState::stats`].
     pub fn new(wan: Wan, scenarios: Vec<FailureScenario>, config: ControllerConfig) -> Self {
         let (tickets, stats) = generate_tickets_with_stats(&wan, &scenarios, &config.lottery);
-        ArrowController { offline: OfflineState { scenarios, tickets, stats }, wan, config }
+        ArrowController {
+            offline: OfflineState { scenarios, tickets, stats },
+            wan,
+            config,
+            online: None,
+        }
     }
 
     /// Builds a controller around an externally produced ticket set,
@@ -153,7 +171,12 @@ impl ArrowController {
         config: ControllerConfig,
     ) -> Self {
         let stats = OfflineStats::default();
-        ArrowController { offline: OfflineState { scenarios, tickets, stats }, wan, config }
+        ArrowController {
+            offline: OfflineState { scenarios, tickets, stats },
+            wan,
+            config,
+            online: None,
+        }
     }
 
     /// The offline state (scenarios + tickets + generation stats).
@@ -167,6 +190,45 @@ impl ArrowController {
     /// solve — a ticketless scenario or a scenario/ticket-set mismatch —
     /// rather than panicking inside the TE scheme.
     pub fn plan(&self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        self.validate_offline()?;
+        let instance =
+            build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
+        let outcome = self.arrow_scheme().solve_detailed(&instance);
+        self.finish_plan(outcome, instance)
+    }
+
+    /// [`ArrowController::plan`] with cross-epoch caching: the first call
+    /// builds tunnels and the Phase I skeleton; every later call re-uses
+    /// them, patching demands in place and warm-starting both LP phases
+    /// from the previous interval's optimum. Intended for diurnal sweeps
+    /// where consecutive traffic matrices are close and the five-minute
+    /// deadline (§5) is tight.
+    ///
+    /// The plan produced is equivalent to [`ArrowController::plan`] for
+    /// the same traffic matrix (identical winning tickets; Phase II
+    /// objective equal up to solver tolerance).
+    pub fn plan_warm(&mut self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        self.validate_offline()?;
+        if self.online.is_none() {
+            let instance =
+                build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
+            let online = ArrowOnline::new(self.arrow_scheme(), &instance);
+            self.online = Some(OnlineCache { instance, online });
+        }
+        let cache = self.online.as_mut().expect("online cache populated above");
+        let instance = cache.instance.with_demands(tm);
+        let outcome = cache.online.solve(&instance);
+        self.finish_plan(outcome, instance)
+    }
+
+    /// Drops the cached online state (tunnels, LP skeleton, warm starts).
+    /// Call after mutating `wan`, `config`, or the offline state in place;
+    /// the next [`ArrowController::plan_warm`] rebuilds from scratch.
+    pub fn reset_online_cache(&mut self) {
+        self.online = None;
+    }
+
+    fn validate_offline(&self) -> Result<(), PlanError> {
         let expected = self.offline.scenarios.len();
         let actual = self.offline.tickets.per_scenario.len();
         if actual != expected {
@@ -177,20 +239,28 @@ impl ArrowController {
         {
             return Err(PlanError::NoTickets { scenario });
         }
-        let instance =
-            build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
-        let arrow = Arrow {
+        Ok(())
+    }
+
+    fn arrow_scheme(&self) -> Arrow {
+        Arrow {
             tickets: self.offline.tickets.clone(),
             alpha: self.config.alpha,
             solver: self.config.solver.clone(),
-        };
-        let outcome = arrow.solve_detailed(&instance);
+        }
+    }
+
+    fn finish_plan(
+        &self,
+        outcome: ArrowOutcome,
+        instance: TeInstance,
+    ) -> Result<TePlan, PlanError> {
         let splitting_ratios = (0..instance.flows.len())
             .map(|f| outcome.output.alloc.splitting_ratios(&instance, arrow_te::FlowId(f)))
             .collect();
         let restoration = match outcome.output.restoration.as_deref() {
             Some(plan) => plan,
-            None if expected == 0 => &[],
+            None if self.offline.scenarios.is_empty() => &[],
             None => return Err(PlanError::MissingRestorationPlan),
         };
         let reconfig_rules = self.compile_rules(restoration);
@@ -299,6 +369,36 @@ mod tests {
         assert_eq!(p1.outcome.winning.len(), p2.outcome.winning.len());
         assert!(p1.outcome.output.alloc.total_admitted() > 0.0);
         assert!(p2.outcome.output.alloc.total_admitted() > 0.0);
+    }
+
+    #[test]
+    fn warm_plan_matches_cold_plan_across_epochs() {
+        let (mut ctl, tm) = controller();
+        for scale in [1.0, 1.4, 0.7] {
+            let shifted = tm.scaled(scale);
+            let cold = ctl.plan(&shifted).expect("cold plan");
+            let warm = ctl.plan_warm(&shifted).expect("warm plan");
+            assert_eq!(warm.outcome.winning, cold.outcome.winning, "scale {scale}");
+            let (tw, tc) = (
+                warm.outcome.output.alloc.total_admitted(),
+                cold.outcome.output.alloc.total_admitted(),
+            );
+            assert!(
+                (tw - tc).abs() <= 1e-6 * (1.0 + tc.abs()),
+                "scale {scale}: warm {tw} vs cold {tc}"
+            );
+            assert_eq!(warm.reconfig_rules.len(), cold.reconfig_rules.len());
+        }
+        // Later epochs reuse the cached skeleton and start warm.
+        let again = ctl.plan_warm(&tm.scaled(1.2)).unwrap();
+        assert_ne!(
+            again.outcome.phase1_stats.warm,
+            arrow_lp::WarmEvent::Cold,
+            "cached online state should warm-start Phase I"
+        );
+        ctl.reset_online_cache();
+        let reset = ctl.plan_warm(&tm).unwrap();
+        assert_eq!(reset.outcome.phase1_stats.warm, arrow_lp::WarmEvent::Cold);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod simplex;
 pub mod solution;
 pub mod solver;
 pub mod sparse;
+pub mod warm;
 
-pub use model::{LinExpr, Model, Objective, Sense, VarId, INF};
-pub use solution::{Solution, Status};
-pub use solver::{solve, solve_default, Backend, SolverConfig};
+pub use model::{ConId, LinExpr, Model, Objective, Sense, VarId, INF};
+pub use solution::{Solution, SolveStats, Status};
+pub use solver::{solve, solve_default, solve_with, Backend, SolverConfig};
+pub use warm::{BackendKind, Basis, ColStatus, PrimalDual, WarmEvent, WarmStart};

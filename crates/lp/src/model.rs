@@ -240,6 +240,24 @@ impl Model {
         self.vars[v.0].ub = ub;
     }
 
+    /// Right-hand side of constraint `c` (after any constant folding done
+    /// by [`Model::add_con`]).
+    pub fn rhs(&self, c: ConId) -> f64 {
+        self.cons[c.0].rhs
+    }
+
+    /// Replaces the right-hand side of an existing constraint.
+    ///
+    /// This is the incremental-assembly primitive for the online stage:
+    /// re-solving with new restored capacities (or demands, via
+    /// [`Model::set_bounds`]) patches the cached model in place instead of
+    /// rebuilding it. The value is stored verbatim — any constant the
+    /// original expression folded into the rhs must be re-applied by the
+    /// caller (ARROW's formulations post constant-free expressions).
+    pub fn set_rhs(&mut self, c: ConId, rhs: f64) {
+        self.cons[c.0].rhs = rhs;
+    }
+
     /// Diagnostic name of variable `v`.
     pub fn var_name(&self, v: VarId) -> &str {
         &self.vars[v.0].name

@@ -232,6 +232,7 @@ pub fn presolve(lp: &StandardLp) -> PresolveResult {
             x: vec![],
             objective: reduced.lp.user_objective(reduced.lp.obj_offset),
             duals: vec![],
+            basis: None,
             stats: Default::default(),
         });
         return PresolveResult::Solved(sol);
@@ -258,6 +259,8 @@ impl Reduced {
             objective: sol.objective,
             x,
             duals,
+            // A reduced-space basis is meaningless in original numbering.
+            basis: None,
             stats: sol.stats,
         }
     }

@@ -17,6 +17,7 @@
 use crate::model::{Sense, StandardLp};
 use crate::solution::{SolveStats, Solution, Status};
 use crate::sparse::CscMatrix;
+use crate::warm::{BackendKind, Basis, ColStatus, WarmEvent};
 
 /// Tunable knobs for the simplex solver.
 #[derive(Debug, Clone)]
@@ -134,6 +135,27 @@ enum PhaseEnd {
     Stalled,
 }
 
+/// Appends the slack-column bounds encoding each row's sense (`Ax + s =
+/// rhs`) to structural bounds already in `lb`/`ub`.
+fn push_slack_bounds(lp: &StandardLp, lb: &mut Vec<f64>, ub: &mut Vec<f64>) {
+    for s in &lp.senses {
+        match s {
+            Sense::Le => {
+                lb.push(0.0);
+                ub.push(f64::INFINITY);
+            }
+            Sense::Ge => {
+                lb.push(f64::NEG_INFINITY);
+                ub.push(0.0);
+            }
+            Sense::Eq => {
+                lb.push(0.0);
+                ub.push(0.0);
+            }
+        }
+    }
+}
+
 impl<'a> Simplex<'a> {
     fn new(lp: &'a StandardLp, cfg: &'a SimplexConfig) -> Self {
         let n = lp.num_vars();
@@ -141,22 +163,7 @@ impl<'a> Simplex<'a> {
         // Slack bounds encode the row sense: Ax + s = rhs.
         let mut lb = lp.lb.clone();
         let mut ub = lp.ub.clone();
-        for s in &lp.senses {
-            match s {
-                Sense::Le => {
-                    lb.push(0.0);
-                    ub.push(f64::INFINITY);
-                }
-                Sense::Ge => {
-                    lb.push(f64::NEG_INFINITY);
-                    ub.push(0.0);
-                }
-                Sense::Eq => {
-                    lb.push(0.0);
-                    ub.push(0.0);
-                }
-            }
-        }
+        push_slack_bounds(lp, &mut lb, &mut ub);
         // Nonbasic starting point: every structural at its bound nearest zero
         // (free variables park at zero).
         let mut x = vec![0.0; n + m];
@@ -238,6 +245,100 @@ impl<'a> Simplex<'a> {
             y: vec![0.0; m],
             w: vec![0.0; m],
         }
+    }
+
+    /// Rebuilds solver state from a recorded basis snapshot against
+    /// (possibly mutated) problem data: nonbasic columns land on their
+    /// *current* bounds, basic values are recomputed through a fresh
+    /// factorization. Returns `None` when the snapshot does not fit the
+    /// problem (wrong size, wrong basic count, singular basis) — the caller
+    /// then falls back to a cold start.
+    fn from_basis(lp: &'a StandardLp, cfg: &'a SimplexConfig, basis: &Basis) -> Option<Self> {
+        let n = lp.num_vars();
+        let m = lp.num_cons();
+        if basis.cols.len() != n + m {
+            return None;
+        }
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        push_slack_bounds(lp, &mut lb, &mut ub);
+        let mut x = vec![0.0; n + m];
+        let mut state = vec![VarState::FreeAtZero; n + m];
+        let mut basis_vec = Vec::with_capacity(m);
+        for j in 0..n + m {
+            match basis.cols[j] {
+                ColStatus::Basic => {
+                    // Position assigned below; value set by refactorize().
+                    state[j] = VarState::Basic(basis_vec.len());
+                    basis_vec.push(j);
+                }
+                status => {
+                    // Park nonbasic columns on a finite bound, honouring the
+                    // recorded side when it still exists under the new data.
+                    let prefer_upper = matches!(status, ColStatus::AtUpper);
+                    if prefer_upper && ub[j].is_finite() {
+                        x[j] = ub[j];
+                        state[j] = VarState::AtUpper;
+                    } else if lb[j].is_finite() {
+                        x[j] = lb[j];
+                        state[j] = VarState::AtLower;
+                    } else if ub[j].is_finite() {
+                        x[j] = ub[j];
+                        state[j] = VarState::AtUpper;
+                    } else {
+                        x[j] = 0.0;
+                        state[j] = VarState::FreeAtZero;
+                    }
+                }
+            }
+        }
+        if basis_vec.len() != m {
+            return None;
+        }
+        let mut s = Simplex {
+            cfg,
+            cols: Columns { a: lp.a.to_csc(), n, m, art_rows: Vec::new(), art_signs: Vec::new(), lp },
+            lb,
+            ub,
+            x,
+            state,
+            basis: basis_vec,
+            binv: vec![0.0; m * m],
+            m,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            degenerate_streak: 0,
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+        };
+        if !s.refactorize() {
+            return None;
+        }
+        Some(s)
+    }
+
+    /// Records the current basis as a reusable snapshot. Basic artificials
+    /// (possible after a degenerate phase 1: they sit at value zero) are
+    /// recorded as their row's slack — the slack column spans the same
+    /// single row, so the recorded basis stays nonsingular.
+    fn snapshot_basis(&self) -> Basis {
+        let nm = self.cols.n + self.cols.m;
+        let mut cols: Vec<ColStatus> = self.state[..nm]
+            .iter()
+            .map(|st| match st {
+                VarState::Basic(_) => ColStatus::Basic,
+                VarState::AtLower => ColStatus::AtLower,
+                VarState::AtUpper => ColStatus::AtUpper,
+                VarState::FreeAtZero => ColStatus::Free,
+            })
+            .collect();
+        for &j in &self.basis {
+            if j >= nm {
+                let row = self.cols.art_rows[j - nm];
+                cols[self.cols.n + row] = ColStatus::Basic;
+            }
+        }
+        Basis { cols }
     }
 
     /// `y = Binv' c_B` — dual prices for the given basic costs.
@@ -525,7 +626,19 @@ impl<'a> Simplex<'a> {
 /// CVaR rows with `1/(1-β)` weights) stay numerically stable; duals are
 /// mapped back to the caller's row scaling.
 pub fn solve(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
-    // Row equilibration.
+    solve_warm(lp, cfg, None)
+}
+
+/// [`solve`] with an optional starting basis from a previous solve of a
+/// structurally identical LP (bounds and right-hand sides may differ).
+///
+/// A fitting, feasible basis skips phase 1 entirely and typically finishes
+/// in a handful of phase-2 pivots; anything else (wrong dimensions,
+/// singular after the data change, primal infeasible under the new
+/// bounds) is reported as [`WarmEvent::Miss`] and solved cold.
+pub fn solve_warm(lp: &StandardLp, cfg: &SimplexConfig, warm: Option<&Basis>) -> Solution {
+    // Row equilibration. Scaling rows does not change which columns form a
+    // nonsingular basis, so the warm basis passes through unchanged.
     let row_norms = lp.a.row_inf_norms();
     let needs_scaling = row_norms
         .iter()
@@ -539,16 +652,16 @@ pub fn solve(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
         for (r, s) in scaled.rhs.iter_mut().zip(&scale) {
             *r *= s;
         }
-        let mut sol = solve_unscaled(&scaled, cfg);
+        let mut sol = solve_unscaled(&scaled, cfg, warm);
         for (d, s) in sol.duals.iter_mut().zip(&scale) {
             *d *= s;
         }
         return sol;
     }
-    solve_unscaled(lp, cfg)
+    solve_unscaled(lp, cfg, warm)
 }
 
-fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
+fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig, warm: Option<&Basis>) -> Solution {
     let n = lp.num_vars();
     let m = lp.num_cons();
     let max_iters = if cfg.max_iters == 0 { 200 + 20 * (n + m) } else { cfg.max_iters };
@@ -577,12 +690,56 @@ fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
             x,
             objective: lp.user_objective(obj),
             duals: vec![],
-            stats: SolveStats::default(),
+            basis: None,
+            stats: base_stats(lp),
         };
     }
 
-    let mut s = Simplex::new(lp, cfg);
+    // Warm path: reinstall the basis against the new data; accept it only
+    // when it comes up primal feasible (phase 1 cannot repair an
+    // artificial-free start, so feasibility is the admission ticket).
+    if let Some(basis) = warm {
+        if let Some(s) = Simplex::from_basis(lp, cfg, basis) {
+            let rhs_max = lp.rhs.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            if s.infeasibility() <= cfg.feas_tol * (1.0 + rhs_max) {
+                let mut sol = solve_prepared(lp, cfg, s, max_iters);
+                // Numerical trouble from a warm basis is recoverable: retry
+                // cold rather than surfacing the failure.
+                if sol.status != Status::NumericalTrouble {
+                    sol.stats.warm = WarmEvent::Hit;
+                    return sol;
+                }
+            }
+        }
+        let mut sol = solve_prepared(lp, cfg, Simplex::new(lp, cfg), max_iters);
+        sol.stats.warm = WarmEvent::Miss;
+        return sol;
+    }
+    solve_prepared(lp, cfg, Simplex::new(lp, cfg), max_iters)
+}
 
+/// Baseline stats describing the problem; counters are filled by the solve.
+fn base_stats(lp: &StandardLp) -> SolveStats {
+    SolveStats {
+        rows: lp.num_cons(),
+        cols: lp.num_vars(),
+        nnz: lp.a.nnz(),
+        backend: BackendKind::Simplex,
+        ..SolveStats::default()
+    }
+}
+
+/// Runs both phases on an already-constructed solver state and extracts the
+/// solution. Phase 1 runs only when the starting point is infeasible or
+/// carries artificial columns (a feasible warm basis skips it entirely).
+fn solve_prepared<'a>(
+    lp: &'a StandardLp,
+    cfg: &'a SimplexConfig,
+    mut s: Simplex<'a>,
+    max_iters: usize,
+) -> Solution {
+    let n = lp.num_vars();
+    let m = lp.num_cons();
     // Phase 1: minimize total infeasibility via artificial costs plus
     // penalties on any basic variable that starts outside its bounds.
     if s.infeasibility() > cfg.feas_tol || !s.cols.art_rows.is_empty() {
@@ -646,12 +803,17 @@ fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
                 objective: lp.user_objective(min_obj),
                 x,
                 duals: Vec::new(),
-                stats: SolveStats::default(),
+                basis: None,
+                stats: base_stats(lp),
             }
         } else {
             Solution::failed(status, n, m)
         };
         sol.stats.iterations = s.iterations;
+        sol.stats.backend = BackendKind::Simplex;
+        sol.stats.rows = m;
+        sol.stats.cols = n;
+        sol.stats.nnz = lp.a.nnz();
         return sol;
     }
     // Final cleanup: refresh values through one refactorization for accuracy.
@@ -663,8 +825,9 @@ fn solve_unscaled(lp: &StandardLp, cfg: &SimplexConfig) -> Solution {
         status: Status::Optimal,
         objective: lp.user_objective(min_obj),
         duals: s.y.iter().map(|&v| lp.obj_sign * v).collect(),
+        basis: Some(s.snapshot_basis()),
         x,
-        stats: SolveStats { iterations: s.iterations, ..SolveStats::default() },
+        stats: SolveStats { iterations: s.iterations, ..base_stats(lp) },
     }
 }
 
@@ -796,6 +959,100 @@ mod tests {
         assert!(s.duals[1].abs() < 1e-6, "duals {:?}", s.duals);
         // Tight constraint dual equals marginal value 2.
         assert!((s.duals[0] - 2.0).abs() < 1e-6, "duals {:?}", s.duals);
+    }
+
+    #[test]
+    fn warm_restart_on_same_lp_hits_and_matches() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 4.0, "c1");
+        m.add_con(LinExpr::term(y, 2.0), Sense::Le, 12.0, "c2");
+        m.add_con(LinExpr::new().add(x, 3.0).add(y, 2.0), Sense::Le, 18.0, "c3");
+        m.set_objective(LinExpr::new().add(x, 3.0).add(y, 5.0), Objective::Maximize);
+        let lp = m.to_standard();
+        let cold = solve(&lp, &SimplexConfig::default());
+        assert_eq!(cold.status, Status::Optimal);
+        let basis = cold.basis.clone().expect("optimal solve records a basis");
+        assert_eq!(basis.num_basic(), lp.num_cons());
+        let warm = solve_warm(&lp, &SimplexConfig::default(), Some(&basis));
+        assert_eq!(warm.status, Status::Optimal);
+        assert_eq!(warm.stats.warm, crate::warm::WarmEvent::Hit);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        // An optimal starting basis needs no pivots beyond the optimality
+        // check, so warm iterations must not exceed the cold count.
+        assert!(warm.stats.iterations <= cold.stats.iterations);
+    }
+
+    #[test]
+    fn warm_survives_bound_and_rhs_changes() {
+        // Perturb demand-like bounds and rhs between solves: the basis
+        // snapshot is data-independent, so it should still warm-start.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 5.0, "x");
+        let y = m.add_var(0.0, 7.0, "y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 9.0, "cap");
+        m.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
+        let basis = solve(&m.to_standard(), &SimplexConfig::default())
+            .basis
+            .expect("basis");
+        let mut m2 = m.clone();
+        m2.set_bounds(x, 0.0, 6.0);
+        let c = crate::model::ConId(0);
+        m2.set_rhs(c, 10.0);
+        let warm = solve_warm(&m2.to_standard(), &SimplexConfig::default(), Some(&basis));
+        let cold = solve(&m2.to_standard(), &SimplexConfig::default());
+        assert_eq!(warm.status, Status::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_is_a_miss_not_a_failure() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        m.add_con(LinExpr::term(x, 1.0), Sense::Le, 3.0, "c");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Maximize);
+        let bogus = crate::warm::Basis { cols: vec![crate::warm::ColStatus::Basic; 7] };
+        let s = solve_warm(&m.to_standard(), &SimplexConfig::default(), Some(&bogus));
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.stats.warm, crate::warm::WarmEvent::Miss);
+        assert!((s.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_cold() {
+        // Shrink a bound so the recorded BASIC variable's recomputed value
+        // lands outside its box: the warm install must reject and re-solve
+        // cold (phase 1 cannot repair an artificial-free infeasible start).
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, "x");
+        let y = m.add_var(0.0, 10.0, "y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Eq, 8.0, "sum");
+        m.set_objective(LinExpr::term(y, 1.0), Objective::Maximize);
+        let cold = solve(&m.to_standard(), &SimplexConfig::default());
+        assert!((cold.x[1] - 8.0).abs() < 1e-9); // y basic at 8
+        let basis = cold.basis.expect("basis");
+        let mut m2 = m.clone();
+        m2.set_bounds(y, 0.0, 5.0); // basic y recomputes to 8 > ub 5
+        let s = solve_warm(&m2.to_standard(), &SimplexConfig::default(), Some(&basis));
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.stats.warm, crate::warm::WarmEvent::Miss);
+        assert!((s.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_problem_shape() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 5.0, "c");
+        m.set_objective(LinExpr::term(x, 1.0), Objective::Maximize);
+        let s = solve_model(&m);
+        assert_eq!(s.stats.rows, 1);
+        assert_eq!(s.stats.cols, 2);
+        assert_eq!(s.stats.nnz, 2);
+        assert_eq!(s.stats.backend, crate::warm::BackendKind::Simplex);
+        assert_eq!(s.stats.warm, crate::warm::WarmEvent::Cold);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Solver-independent solution and status types.
 
 use crate::model::{Model, VarId};
+use crate::warm::{BackendKind, Basis, PrimalDual, WarmEvent, WarmStart};
 
 /// Termination status of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +35,7 @@ impl Status {
     }
 }
 
-/// Counters describing how hard the solver worked.
+/// Counters describing how hard the solver worked and what it worked on.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveStats {
     /// Simplex pivots or PDHG iterations performed.
@@ -43,6 +44,18 @@ pub struct SolveStats {
     pub solve_seconds: f64,
     /// Branch-and-bound nodes explored (MILP only).
     pub nodes: usize,
+    /// Constraint rows of the solved standard form.
+    pub rows: usize,
+    /// Structural variables of the solved standard form.
+    pub cols: usize,
+    /// Nonzero constraint coefficients of the solved standard form.
+    pub nnz: usize,
+    /// Which backend actually executed the solve.
+    pub backend: BackendKind,
+    /// What happened to the warm start, if one was supplied.
+    pub warm: WarmEvent,
+    /// Adaptive restarts performed (PDHG only).
+    pub restarts: usize,
 }
 
 /// The result of solving a model.
@@ -59,6 +72,9 @@ pub struct Solution {
     /// relaxing it by one unit gains that much objective). Empty on failure
     /// or for backends that do not produce duals.
     pub duals: Vec<f64>,
+    /// Final simplex basis (optimal simplex solves only); feed it back via
+    /// [`Solution::warm_start`] to accelerate the next related solve.
+    pub basis: Option<Basis>,
     /// Work counters.
     pub stats: SolveStats,
 }
@@ -71,8 +87,23 @@ impl Solution {
             x: vec![0.0; num_vars],
             objective: f64::NAN,
             duals: Vec::new(),
+            basis: None,
             stats: SolveStats::default(),
         }
+    }
+
+    /// Packages this solution as a [`WarmStart`] for a follow-up solve of a
+    /// structurally identical model (same rows/columns/coefficients; bounds
+    /// and right-hand sides may differ). Returns `None` when the solve left
+    /// no usable point.
+    pub fn warm_start(&self) -> Option<WarmStart> {
+        if !self.status.is_usable() || self.x.is_empty() {
+            return None;
+        }
+        Some(WarmStart {
+            basis: self.basis.clone(),
+            point: Some(PrimalDual { x: self.x.clone(), y: self.duals.clone() }),
+        })
     }
 
     /// Value of a variable in this solution.
@@ -98,5 +129,10 @@ mod tests {
         assert_eq!(s.x.len(), 3);
         assert!(!s.status.is_optimal());
         assert!(Status::Optimal.is_optimal());
+    }
+
+    #[test]
+    fn failed_solution_yields_no_warm_start() {
+        assert!(Solution::failed(Status::Infeasible, 3, 2).warm_start().is_none());
     }
 }

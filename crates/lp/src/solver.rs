@@ -10,6 +10,7 @@ use crate::model::Model;
 use crate::pdhg::{self, PdhgConfig};
 use crate::simplex::{self, SimplexConfig};
 use crate::solution::Solution;
+use crate::warm::{BackendKind, WarmStart};
 
 /// Which algorithm executes the solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,12 +75,31 @@ impl SolverConfig {
 
 /// Solves `model` with the configured backend, timing the call.
 pub fn solve(model: &Model, cfg: &SolverConfig) -> Solution {
+    solve_with(model, cfg, None)
+}
+
+/// [`solve`] with an optional [`WarmStart`] from a previous solve of a
+/// structurally identical model.
+///
+/// Each backend consumes the component it understands — simplex the basis,
+/// PDHG the primal–dual point — and records a hit/miss in
+/// [`SolveStats`](crate::solution::SolveStats). The MILP backend and the
+/// presolve path ignore warm starts (presolve renumbers columns, which
+/// would silently misalign the point).
+pub fn solve_with(model: &Model, cfg: &SolverConfig, warm: Option<&WarmStart>) -> Solution {
     let start = std::time::Instant::now();
     let mut sol = if model.num_int_vars() > 0 {
-        milp::solve(model, &cfg.milp)
+        let mut s = milp::solve(model, &cfg.milp);
+        s.stats.backend = BackendKind::Milp;
+        s.stats.rows = model.num_cons();
+        s.stats.cols = model.num_vars();
+        s.stats.nnz = model.nnz();
+        s
     } else {
         let full = model.to_standard();
         // Optional presolve: solve the reduced problem, expand the answer.
+        // Presolve renumbers rows/columns, so warm starts are dropped here.
+        let warm = if cfg.presolve { None } else { warm };
         let (lp, reduction) = if cfg.presolve {
             match crate::presolve::presolve(&full) {
                 crate::presolve::PresolveResult::Infeasible => {
@@ -111,8 +131,12 @@ pub fn solve(model: &Model, cfg: &SolverConfig) -> Solution {
             b => b,
         };
         let sol = match backend {
-            Backend::Simplex => simplex::solve(&lp, &cfg.simplex),
-            Backend::Pdhg => pdhg::solve(&lp, &cfg.pdhg),
+            Backend::Simplex => {
+                simplex::solve_warm(&lp, &cfg.simplex, warm.and_then(|w| w.basis.as_ref()))
+            }
+            Backend::Pdhg => {
+                pdhg::solve_warm(&lp, &cfg.pdhg, warm.and_then(|w| w.point.as_ref()))
+            }
             Backend::Auto => unreachable!(),
         };
         // Auto mode falls back to the first-order method when the simplex
@@ -121,7 +145,7 @@ pub fn solve(model: &Model, cfg: &SolverConfig) -> Solution {
             && backend == Backend::Simplex
             && sol.status == crate::solution::Status::NumericalTrouble
         {
-            pdhg::solve(&lp, &cfg.pdhg)
+            pdhg::solve_warm(&lp, &cfg.pdhg, warm.and_then(|w| w.point.as_ref()))
         } else {
             sol
         };

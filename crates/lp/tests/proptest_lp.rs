@@ -112,6 +112,80 @@ proptest! {
         }
     }
 
+    /// Warm-started simplex re-solves reach the same objective as cold
+    /// ones — both on the unchanged LP (where the start is the optimum)
+    /// and after a rhs/bound perturbation (where it is merely a good
+    /// guess, or rejected as infeasible and re-solved cold).
+    #[test]
+    fn simplex_warm_equals_cold_on_random_lps(
+        n in 2usize..6,
+        m in 1usize..5,
+        seed_coeffs in proptest::collection::vec(-2.0f64..2.0, 30),
+        seed_rhs in proptest::collection::vec(0.0f64..20.0, 5),
+        seed_costs in proptest::collection::vec(-1.0f64..3.0, 6),
+        bump in -0.5f64..2.0,
+    ) {
+        let (model, vars) = random_lp(n, &seed_coeffs[..n * m], &seed_rhs[..m], &seed_costs[..n]);
+        let cfg = SolverConfig::exact();
+        let first = arrow_lp::solve(&model, &cfg);
+        prop_assert_eq!(first.status, Status::Optimal);
+        let warm_start = first.warm_start().expect("optimal solve yields warm start");
+        prop_assert!(warm_start.basis.is_some());
+
+        // Same LP: warm must hit and reproduce the optimum.
+        let rewarm = arrow_lp::solve_with(&model, &cfg, Some(&warm_start));
+        prop_assert_eq!(rewarm.status, Status::Optimal);
+        prop_assert_eq!(rewarm.stats.warm, arrow_lp::WarmEvent::Hit);
+        let scale = 1.0 + first.objective.abs();
+        prop_assert!(
+            (first.objective - rewarm.objective).abs() / scale < 1e-9,
+            "warm {} vs cold {}", rewarm.objective, first.objective
+        );
+
+        // Perturbed LP (diurnal-demand analogue: bounds shift, pattern
+        // fixed): warm and cold must agree wherever they land.
+        let mut shifted = model.clone();
+        shifted.set_bounds(vars[0], 0.0, (10.0 + bump).max(0.0));
+        let cold = arrow_lp::solve(&shifted, &cfg);
+        let warm = arrow_lp::solve_with(&shifted, &cfg, Some(&warm_start));
+        prop_assert_eq!(cold.status, Status::Optimal);
+        prop_assert_eq!(warm.status, Status::Optimal);
+        let scale = 1.0 + cold.objective.abs();
+        prop_assert!(
+            (cold.objective - warm.objective).abs() / scale < 1e-9,
+            "perturbed warm {} vs cold {}", warm.objective, cold.objective
+        );
+        prop_assert!(warm.violation(&shifted) < 1e-6);
+    }
+
+    /// PDHG warm starts (primal–dual point) agree with cold PDHG solves.
+    #[test]
+    fn pdhg_warm_equals_cold_on_random_lps(
+        n in 2usize..6,
+        m in 1usize..5,
+        seed_coeffs in proptest::collection::vec(-2.0f64..2.0, 30),
+        seed_rhs in proptest::collection::vec(0.0f64..20.0, 5),
+        seed_costs in proptest::collection::vec(-1.0f64..3.0, 6),
+    ) {
+        let (model, _) = random_lp(n, &seed_coeffs[..n * m], &seed_rhs[..m], &seed_costs[..n]);
+        let cfg = SolverConfig::first_order(1e-8);
+        let cold = arrow_lp::solve(&model, &cfg);
+        prop_assert!(cold.status.is_usable());
+        if cold.status != Status::Optimal {
+            return Ok(()); // tolerance-limited run: nothing to compare
+        }
+        let warm_start = cold.warm_start().expect("usable solve yields warm start");
+        let warm = arrow_lp::solve_with(&model, &cfg, Some(&warm_start));
+        prop_assert_eq!(warm.status, Status::Optimal);
+        prop_assert_eq!(warm.stats.warm, arrow_lp::WarmEvent::Hit);
+        prop_assert!(warm.stats.iterations <= cold.stats.iterations);
+        let scale = 1.0 + cold.objective.abs();
+        prop_assert!(
+            (cold.objective - warm.objective).abs() / scale < 1e-4,
+            "pdhg warm {} vs cold {}", warm.objective, cold.objective
+        );
+    }
+
     /// The MPS writer always produces a parseable section skeleton with one
     /// column entry per objective/constraint coefficient.
     #[test]

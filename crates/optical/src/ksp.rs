@@ -168,7 +168,7 @@ pub fn k_shortest_paths(
         let best = candidates
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.length_km.partial_cmp(&b.1.length_km).unwrap())
+            .min_by(|a, b| a.1.length_km.total_cmp(&b.1.length_km))
             .map(|(i, _)| i)
             .expect("non-empty");
         accepted.push(candidates.swap_remove(best));

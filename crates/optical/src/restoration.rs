@@ -101,11 +101,14 @@ pub fn path_inflation_analysis(net: &OpticalNetwork, cfg: &RwaConfig) -> Vec<Pat
             }
             let primary_km = net.path_length_km(&net.lightpath(link.lightpath).path);
             // Weight by restored wavelengths: report the dominant path.
+            // total_cmp: the relaxation can in principle emit NaN weights
+            // on degenerate inputs, and partial_cmp().unwrap() would
+            // panic the whole analysis instead of skipping the path.
             let best = link
                 .per_path_wavelengths
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             out.push(PathInflation {
@@ -168,7 +171,11 @@ pub fn roadm_reconfig_count(
 ///
 /// Returns `(value, fraction ≤ value)` pairs over the sorted inputs.
 pub fn empirical_cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "empirical_cdf expects finite samples"
+    );
+    values.sort_by(f64::total_cmp);
     let n = values.len().max(1) as f64;
     values
         .into_iter()

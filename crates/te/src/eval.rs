@@ -137,8 +137,15 @@ pub fn play_scenario(
     for (fi, flow) in inst.flows.iter().enumerate() {
         delivered[fi] = delivered[fi].min(flow.demand_gbps);
     }
-    let total_demand = inst.total_demand().max(1e-9);
-    let satisfaction = delivered.iter().sum::<f64>() / total_demand;
+    // An empty traffic matrix is trivially satisfied; dividing by the old
+    // 1e-9 floor instead turned "no demand" into satisfaction ≈ 0 (or a
+    // huge ratio when rounding left delivered slightly positive).
+    let total_demand = inst.total_demand();
+    let satisfaction = if total_demand <= 0.0 {
+        1.0
+    } else {
+        delivered.iter().sum::<f64>() / total_demand
+    };
     ScenarioDelivery { delivered, link_loads: final_loads, satisfaction }
 }
 
@@ -199,7 +206,7 @@ pub fn availability_guaranteed_throughput(
     let mass: f64 = points.iter().map(|&(_, p)| p).sum();
     // Sort by loss ascending (satisfaction descending); walk until the
     // cumulative probability reaches β.
-    points.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    points.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut cum = 0.0;
     for &(sat, p) in &points {
         cum += p / mass;
@@ -327,6 +334,24 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn zero_demand_is_fully_satisfied() {
+        // Regression: the old 1e-9 demand floor reported satisfaction ≈ 0
+        // for an empty traffic matrix, dragging availability metrics to
+        // zero on idle networks instead of the trivially correct 1.0.
+        let inst = instance(0.0);
+        assert_eq!(inst.total_demand(), 0.0);
+        let out = MaxFlow::default().solve(&inst);
+        let cfg = PlaybackConfig::default();
+        let healthy = play_scenario(&inst, &out.alloc, None, None, &cfg);
+        assert_eq!(healthy.satisfaction, 1.0);
+        for q in &inst.scenarios {
+            let d = play_scenario(&inst, &out.alloc, Some(q), None, &cfg);
+            assert_eq!(d.satisfaction, 1.0, "zero demand must be satisfied under failures too");
+        }
+        assert!((availability(&inst, &out, &cfg) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod tunnels;
 
 pub use alloc::TeAllocation;
 pub use restoration::{RestorationTicket, TicketSet};
-pub use schemes::arrow::{Arrow, ArrowNaive, ArrowOutcome};
+pub use schemes::arrow::{Arrow, ArrowNaive, ArrowOnline, ArrowOutcome};
 pub use schemes::ecmp::Ecmp;
 pub use schemes::ffc::Ffc;
 pub use schemes::joint::{binary_ticket_selection, joint_formulation_size, JointSize};

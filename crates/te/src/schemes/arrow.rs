@@ -23,10 +23,12 @@
 //! **ARROW-Naive** (§6) skips Phase I: it uses a single optical-layer-
 //! optimal restoration candidate per scenario and solves Phase II with it.
 
-use super::{base_model, extract_alloc, SchemeOutput, TeScheme};
+use super::{base_model, extract_alloc, BaseModel, SchemeOutput, TeScheme};
 use crate::restoration::{RestorationTicket, TicketSet};
 use crate::tunnels::{TeInstance, TunnelId};
-use arrow_lp::{LinExpr, Sense, SolverConfig, VarId};
+use arrow_lp::{
+    ConId, LinExpr, PrimalDual, Sense, Solution, SolveStats, SolverConfig, VarId, WarmStart,
+};
 
 /// The ARROW scheme (two-phase, LotteryTicket-driven).
 #[derive(Debug, Clone)]
@@ -58,6 +60,10 @@ pub struct ArrowOutcome {
     pub phase1_seconds: f64,
     /// Phase II LP solve seconds.
     pub phase2_seconds: f64,
+    /// Phase I solver observability (size, iterations, backend, warm event).
+    pub phase1_stats: SolveStats,
+    /// Phase II solver observability.
+    pub phase2_stats: SolveStats,
 }
 
 /// Restorable tunnel set for flow tunnels under `(q, ticket)`.
@@ -74,15 +80,44 @@ fn restorable_tunnels(
         .collect()
 }
 
+/// The Phase I LP skeleton plus the row handles needed to patch it in
+/// place between consecutive online solves.
+///
+/// Everything about the model except the demand bounds on `b_f` and the
+/// restored-capacity right-hand sides is independent of the traffic
+/// matrix, so a diurnal sweep can build this once and re-solve it per
+/// interval (see [`ArrowOnline`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Phase1Model {
+    /// The shared skeleton plus all Phase-I rows and slack variables.
+    pub base: BaseModel,
+    /// `arw5` rows: `(row, qi, zi, index into ticket.restored)`. The rhs
+    /// is the ticket's restored capacity `r_e^{z,q}` for that entry (one
+    /// row per used direction, both share the same `r`).
+    r_rows: Vec<(ConId, usize, usize, usize)>,
+    /// `arw6` budget rows: `(row, qi, zi)`; rhs is `α · Σ_e r_e^{z,q}`.
+    m_rows: Vec<(ConId, usize, usize)>,
+}
+
 impl Arrow {
     /// Phase I: selects the winning LotteryTicket per scenario.
     pub fn phase1(&self, inst: &TeInstance) -> (Vec<usize>, f64) {
+        let p1 = self.build_phase1(inst);
+        let sol = arrow_lp::solve(&p1.base.model, &self.solver);
+        assert!(sol.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol.status);
+        (self.select_winning(inst, &p1.base, &sol), sol.stats.solve_seconds)
+    }
+
+    /// Builds the Phase I model (Table 2) without solving it.
+    pub(crate) fn build_phase1(&self, inst: &TeInstance) -> Phase1Model {
         assert_eq!(
             self.tickets.per_scenario.len(),
             inst.scenarios.len(),
             "ticket set must align with the scenario list"
         );
         let mut base = base_model(inst);
+        let mut r_rows = Vec::new();
+        let mut m_rows = Vec::new();
         // Slack variables per (q, z, failed link e).
         let mut slack_vars: Vec<Vec<Vec<(usize, VarId)>>> = Vec::new(); // [q][z] -> (link, Δ)
         for (qi, scen) in inst.scenarios.iter().enumerate() {
@@ -128,7 +163,7 @@ impl Arrow {
                 // healthy capacity, restored capacity is per direction.
                 let mut slacks = Vec::new();
                 let mut m_bound = LinExpr::new();
-                for &(link, r) in &ticket.restored {
+                for (ri, &(link, r)) in ticket.restored.iter().enumerate() {
                     for fwd in [true, false] {
                         // Load of restorable tunnels crossing (link, dir).
                         let users: Vec<VarId> = y
@@ -155,15 +190,22 @@ impl Arrow {
                         );
                         let mut e = LinExpr::sum_vars(users);
                         e.add_term(delta, -1.0);
-                        base.model
-                            .add_con(e, Sense::Le, r, format!("arw5_e{}_{fwd}_q{qi}_z{zi}", link.0));
+                        let con = base.model.add_con(
+                            e,
+                            Sense::Le,
+                            r,
+                            format!("arw5_e{}_{fwd}_q{qi}_z{zi}", link.0),
+                        );
+                        r_rows.push((con, qi, zi, ri));
                         m_bound.add_term(delta, 1.0);
                         slacks.push((link.0, delta));
                     }
                 }
                 if !slacks.is_empty() {
                     let m = self.alpha * ticket.total_gbps();
-                    base.model.add_con(m_bound, Sense::Le, m, format!("arw6_q{qi}_z{zi}"));
+                    let con =
+                        base.model.add_con(m_bound, Sense::Le, m, format!("arw6_q{qi}_z{zi}"));
+                    m_rows.push((con, qi, zi));
                 }
                 per_ticket.push(slacks);
             }
@@ -180,10 +222,17 @@ impl Arrow {
             }
         }
         base.model.set_objective(obj, arrow_lp::Objective::Maximize);
-        let sol = arrow_lp::solve(&base.model, &self.solver);
-        assert!(sol.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol.status);
-        let _ = &slack_vars; // Δ variables exist per Table 2; the scoring
-                             // below recomputes their minimal values.
+        Phase1Model { base, r_rows, m_rows }
+    }
+
+    /// Post-processing on a Phase I solution: the winning ticket per
+    /// scenario.
+    pub(crate) fn select_winning(
+        &self,
+        inst: &TeInstance,
+        base: &BaseModel,
+        sol: &Solution,
+    ) -> Vec<usize> {
         // Winning ticket per scenario: the paper's criterion is
         // `min_z Σ_e max(0, Δ_e^{z,q})`. The LP leaves Δ degenerate when
         // capacity is plentiful (many exact ties), so the score is
@@ -234,20 +283,23 @@ impl Arrow {
                     }
                     ((stranded + overflow) * 100.0).round() as i64
                 };
+                // Total order even for pathological (NaN) capacities:
+                // integer score ascending, then restored capacity
+                // descending via total_cmp, then first index.
                 tickets
                     .iter()
                     .enumerate()
                     .min_by(|(za, ta), (zb, tb)| {
-                        (score(ta), -ta.total_gbps())
-                            .partial_cmp(&(score(tb), -tb.total_gbps()))
-                            .unwrap()
+                        score(ta)
+                            .cmp(&score(tb))
+                            .then(tb.total_gbps().total_cmp(&ta.total_gbps()))
                             .then(za.cmp(zb))
                     })
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
             .collect();
-        (winning, sol.stats.solve_seconds)
+        winning
     }
 
     /// Phase II: final allocation under the winning tickets.
@@ -256,6 +308,24 @@ impl Arrow {
         inst: &TeInstance,
         winning: &[usize],
     ) -> (SchemeOutput, f64) {
+        let (base, plan) = self.build_phase2(inst, winning);
+        let sol = arrow_lp::solve(&base.model, &self.solver);
+        assert!(sol.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol.status);
+        (
+            SchemeOutput {
+                alloc: extract_alloc(inst, &base, &sol, "ARROW"),
+                restoration: Some(plan),
+            },
+            sol.stats.solve_seconds,
+        )
+    }
+
+    /// Builds the Phase II model (Table 3) without solving it.
+    pub(crate) fn build_phase2(
+        &self,
+        inst: &TeInstance,
+        winning: &[usize],
+    ) -> (BaseModel, Vec<RestorationTicket>) {
         let mut base = base_model(inst);
         let mut plan = Vec::new();
         for (qi, scen) in inst.scenarios.iter().enumerate() {
@@ -309,23 +379,31 @@ impl Arrow {
                 }
             }
         }
-        let sol = arrow_lp::solve(&base.model, &self.solver);
-        assert!(sol.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol.status);
-        (
-            SchemeOutput {
-                alloc: extract_alloc(inst, &base, &sol, "ARROW"),
-                restoration: Some(plan),
-            },
-            sol.stats.solve_seconds,
-        )
+        (base, plan)
     }
 
-    /// Full two-phase solve with timing detail.
+    /// Full two-phase solve with timing and solver-observability detail.
     pub fn solve_detailed(&self, inst: &TeInstance) -> ArrowOutcome {
-        let (winning, phase1_seconds) = self.phase1(inst);
-        let (mut output, phase2_seconds) = self.phase2(inst, &winning);
-        output.alloc.solve_seconds = phase1_seconds + phase2_seconds;
-        ArrowOutcome { output, winning, phase1_seconds, phase2_seconds }
+        let p1 = self.build_phase1(inst);
+        let sol1 = arrow_lp::solve(&p1.base.model, &self.solver);
+        assert!(sol1.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol1.status);
+        let winning = self.select_winning(inst, &p1.base, &sol1);
+        let (base2, plan) = self.build_phase2(inst, &winning);
+        let sol2 = arrow_lp::solve(&base2.model, &self.solver);
+        assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
+        let mut output = SchemeOutput {
+            alloc: extract_alloc(inst, &base2, &sol2, "ARROW"),
+            restoration: Some(plan),
+        };
+        output.alloc.solve_seconds = sol1.stats.solve_seconds + sol2.stats.solve_seconds;
+        ArrowOutcome {
+            output,
+            winning,
+            phase1_seconds: sol1.stats.solve_seconds,
+            phase2_seconds: sol2.stats.solve_seconds,
+            phase1_stats: sol1.stats,
+            phase2_stats: sol2.stats,
+        }
     }
 }
 
@@ -336,6 +414,154 @@ impl TeScheme for Arrow {
 
     fn solve(&self, inst: &TeInstance) -> SchemeOutput {
         self.solve_detailed(inst).output
+    }
+}
+
+/// Incremental two-phase solver for consecutive online intervals.
+///
+/// The online stage runs every TE epoch against the same topology,
+/// tunnels, scenarios, and tickets — only the traffic matrix changes. This
+/// wrapper exploits that:
+///
+/// * the Phase I constraint skeleton is built **once** and demand enters
+///   it only through the `b_f` upper bounds, which are patched in place;
+/// * each solve warm-starts from the previous interval's optimum (simplex
+///   basis and/or primal–dual point, whichever the backend consumes);
+/// * the Phase II model is cached keyed on the winning-ticket vector and
+///   re-solved warm when the winners repeat; a fresh Phase II model is
+///   seeded from the Phase I allocation (its `b`/`a` variables are the
+///   shared prefix of both models).
+///
+/// Changing the instance *structure* (flows, tunnels, scenarios) requires
+/// a new `ArrowOnline`; [`ArrowOnline::solve`] asserts the shape matches.
+#[derive(Debug, Clone)]
+pub struct ArrowOnline {
+    arrow: Arrow,
+    phase1: Phase1Model,
+    phase1_warm: Option<WarmStart>,
+    phase2: Option<Phase2Cache>,
+    /// `(flows, tunnels, scenarios)` of the instance the skeleton was
+    /// built from.
+    shape: (usize, usize, usize),
+}
+
+/// Cached Phase II state, valid while the winning tickets repeat.
+#[derive(Debug, Clone)]
+struct Phase2Cache {
+    winning: Vec<usize>,
+    base: BaseModel,
+    plan: Vec<RestorationTicket>,
+    warm: Option<WarmStart>,
+}
+
+impl ArrowOnline {
+    /// Builds the Phase I skeleton for `inst`'s structure. Demands present
+    /// in `inst` are immaterial: every [`ArrowOnline::solve`] re-patches
+    /// them from its own instance.
+    pub fn new(arrow: Arrow, inst: &TeInstance) -> Self {
+        let phase1 = arrow.build_phase1(inst);
+        let shape = (inst.flows.len(), inst.tunnels.len(), inst.scenarios.len());
+        ArrowOnline { arrow, phase1, phase1_warm: None, phase2: None, shape }
+    }
+
+    /// The underlying scheme configuration.
+    pub fn arrow(&self) -> &Arrow {
+        &self.arrow
+    }
+
+    /// Swaps in a new ticket set with the **same support structure** (same
+    /// scenario count, tickets per scenario, and restored-link lists):
+    /// only the restored-capacity values `r_e^{z,q}` may differ. The
+    /// Phase I rows are patched in place; the Phase II cache is dropped
+    /// (its hard capacity rows bake in the old plan).
+    ///
+    /// Panics when the structure differs — rebuild with
+    /// [`ArrowOnline::new`] in that case.
+    pub fn update_tickets(&mut self, tickets: TicketSet) {
+        let old = &self.arrow.tickets;
+        assert_eq!(
+            old.per_scenario.len(),
+            tickets.per_scenario.len(),
+            "ticket update must keep the scenario count"
+        );
+        for (qi, (a, b)) in
+            old.per_scenario.iter().zip(&tickets.per_scenario).enumerate()
+        {
+            assert_eq!(a.len(), b.len(), "scenario {qi}: ticket count changed");
+            for (zi, (ta, tb)) in a.iter().zip(b).enumerate() {
+                let la: Vec<_> = ta.restored.iter().map(|&(l, _)| l).collect();
+                let lb: Vec<_> = tb.restored.iter().map(|&(l, _)| l).collect();
+                assert_eq!(la, lb, "scenario {qi} ticket {zi}: support changed");
+            }
+        }
+        for &(con, qi, zi, ri) in &self.phase1.r_rows {
+            let (_, r) = tickets.per_scenario[qi][zi].restored[ri];
+            self.phase1.base.model.set_rhs(con, r);
+        }
+        for &(con, qi, zi) in &self.phase1.m_rows {
+            let m = self.arrow.alpha * tickets.per_scenario[qi][zi].total_gbps();
+            self.phase1.base.model.set_rhs(con, m);
+        }
+        self.arrow.tickets = tickets;
+        // The cached Phase II model hard-codes the old winning tickets'
+        // capacities; the Phase I warm basis stays valid (same pattern).
+        self.phase2 = None;
+    }
+
+    /// One online interval: patch demands, warm-solve Phase I, pick the
+    /// winners, warm-solve Phase II.
+    ///
+    /// `inst` must share the structure of the instance this solver was
+    /// built from — typically produced by
+    /// [`TeInstance::with_demands`](crate::tunnels::TeInstance::with_demands).
+    pub fn solve(&mut self, inst: &TeInstance) -> ArrowOutcome {
+        assert_eq!(
+            self.shape,
+            (inst.flows.len(), inst.tunnels.len(), inst.scenarios.len()),
+            "instance structure changed; rebuild ArrowOnline"
+        );
+        // Demand enters Phase I only through the b_f upper bounds.
+        for (fi, f) in inst.flows.iter().enumerate() {
+            self.phase1.base.model.set_bounds(self.phase1.base.b[fi], 0.0, f.demand_gbps);
+        }
+        let sol1 =
+            arrow_lp::solve_with(&self.phase1.base.model, &self.arrow.solver, self.phase1_warm.as_ref());
+        assert!(sol1.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol1.status);
+        self.phase1_warm = sol1.warm_start();
+        let winning = self.arrow.select_winning(inst, &self.phase1.base, &sol1);
+        let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
+        if !cache_valid {
+            let (base, plan) = self.arrow.build_phase2(inst, &winning);
+            // Seed Phase II from the Phase I allocation: both models
+            // allocate b then a first, so the variable prefix is shared.
+            // (No basis: the row sets differ, so only the point maps.)
+            let ncols = base.model.num_vars();
+            let warm = Some(WarmStart::from_point(PrimalDual {
+                x: sol1.x[..ncols].to_vec(),
+                y: Vec::new(),
+            }));
+            self.phase2 = Some(Phase2Cache { winning: winning.clone(), base, plan, warm });
+        }
+        let cache = self.phase2.as_mut().expect("phase2 cache populated above");
+        for (fi, f) in inst.flows.iter().enumerate() {
+            cache.base.model.set_bounds(cache.base.b[fi], 0.0, f.demand_gbps);
+        }
+        let sol2 = arrow_lp::solve_with(&cache.base.model, &self.arrow.solver, cache.warm.as_ref());
+        assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
+        cache.warm = sol2.warm_start();
+        let mut output = SchemeOutput {
+            alloc: extract_alloc(inst, &cache.base, &sol2, "ARROW"),
+            restoration: Some(cache.plan.clone()),
+        };
+        output.alloc.solve_seconds = sol1.stats.solve_seconds + sol2.stats.solve_seconds;
+        ArrowOutcome {
+            output,
+            winning,
+            phase1_seconds: sol1.stats.solve_seconds,
+            phase2_seconds: sol2.stats.solve_seconds,
+            phase1_stats: sol1.stats,
+            phase2_stats: sol2.stats,
+        }
     }
 }
 
@@ -527,6 +753,110 @@ mod tests {
                 assert!(q.failed_links.contains(&l), "plan restores a non-failed link");
             }
         }
+    }
+
+    /// Tickets restoring half of each failed link's capacity, plus an
+    /// empty candidate — gives Phase I a real choice to make.
+    fn half_or_nothing_tickets(inst: &TeInstance) -> TicketSet {
+        TicketSet {
+            per_scenario: inst
+                .scenarios
+                .iter()
+                .map(|s| {
+                    vec![
+                        RestorationTicket {
+                            restored: s
+                                .failed_links
+                                .iter()
+                                .map(|&l| (l, 0.5 * inst.wan.link(l).capacity_gbps))
+                                .collect(),
+                        },
+                        RestorationTicket {
+                            restored: s.failed_links.iter().map(|&l| (l, 0.0)).collect(),
+                        },
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn online_first_solve_matches_cold_exactly() {
+        // The first ArrowOnline solve has no warm state: it must agree
+        // with the one-shot path on winners and allocation.
+        let inst = instance(4.0, 6);
+        let arrow = Arrow::new(half_or_nothing_tickets(&inst));
+        let cold = arrow.solve_detailed(&inst);
+        let mut online = ArrowOnline::new(arrow, &inst);
+        let first = online.solve(&inst);
+        assert_eq!(first.winning, cold.winning, "winning tickets must match cold");
+        let (ta, tb) = (
+            cold.output.alloc.throughput(&inst),
+            first.output.alloc.throughput(&inst),
+        );
+        assert!((ta - tb).abs() < 1e-9, "throughput {tb} != cold {ta}");
+        assert_eq!(first.phase1_stats.warm, arrow_lp::WarmEvent::Cold);
+    }
+
+    #[test]
+    fn online_warm_resolve_matches_cold_across_demand_sweep() {
+        // B4 Phase II warm-start regression: re-solving shifted demand
+        // matrices warm must reproduce the cold winners and objective.
+        let inst = instance(4.0, 6);
+        let arrow = Arrow::new(half_or_nothing_tickets(&inst));
+        let mut online = ArrowOnline::new(arrow.clone(), &inst);
+        for scale in [1.0, 1.25, 0.8] {
+            let shifted = inst.scaled(scale);
+            let warm = online.solve(&shifted);
+            let cold = arrow.solve_detailed(&shifted);
+            assert_eq!(warm.winning, cold.winning, "scale {scale}: winners diverged");
+            let (tw, tc) = (
+                warm.output.alloc.throughput(&shifted),
+                cold.output.alloc.throughput(&shifted),
+            );
+            assert!(
+                (tw - tc).abs() <= 1e-6 * (1.0 + tc.abs()),
+                "scale {scale}: warm {tw} vs cold {tc}"
+            );
+        }
+        // After the first interval every Phase I solve starts warm.
+        let again = online.solve(&inst.scaled(1.1));
+        assert_ne!(again.phase1_stats.warm, arrow_lp::WarmEvent::Cold);
+        assert_ne!(again.phase2_stats.warm, arrow_lp::WarmEvent::Cold);
+    }
+
+    #[test]
+    fn online_ticket_update_patches_in_place() {
+        // Same supports, different capacities: update_tickets must steer
+        // later solves exactly like a fresh solver with the new set.
+        let inst = instance(4.0, 4);
+        let base = half_or_nothing_tickets(&inst);
+        let mut richer = base.clone();
+        for per in &mut richer.per_scenario {
+            for (_, r) in &mut per[0].restored {
+                *r *= 2.0; // half -> full restoration
+            }
+        }
+        let mut online = ArrowOnline::new(Arrow::new(base), &inst);
+        let _ = online.solve(&inst);
+        online.update_tickets(richer.clone());
+        let patched = online.solve(&inst);
+        let fresh = Arrow::new(richer).solve_detailed(&inst);
+        assert_eq!(patched.winning, fresh.winning);
+        let (tp, tf) = (
+            patched.output.alloc.throughput(&inst),
+            fresh.output.alloc.throughput(&inst),
+        );
+        assert!((tp - tf).abs() <= 1e-6 * (1.0 + tf.abs()), "patched {tp} vs fresh {tf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "structure changed")]
+    fn online_rejects_mismatched_instance() {
+        let inst = instance(1.0, 4);
+        let mut online = ArrowOnline::new(Arrow::new(empty_tickets(&inst)), &inst);
+        let other = instance(1.0, 3); // fewer scenarios
+        let _ = online.solve(&other);
     }
 
     #[test]

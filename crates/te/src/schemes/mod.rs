@@ -47,6 +47,7 @@ pub trait TeScheme {
 
 /// Shared LP skeleton: variables `b_f ∈ [0, d_f]`, `a_{f,t} ≥ 0`, the
 /// standard constraints (1)–(3) of Table 2, and the `max Σ b_f` objective.
+#[derive(Debug, Clone)]
 pub(crate) struct BaseModel {
     pub model: Model,
     /// `b_f` variables, indexed by flow.

@@ -1,0 +1,184 @@
+//! Warm-vs-cold online-stage sweep over a diurnal traffic cycle (§5).
+//!
+//! The online stage must finish inside a five-minute TE epoch. This sweep
+//! replays a day of B4 traffic (scaled gravity matrices tracing a diurnal
+//! curve) twice through the same controller:
+//!
+//! * **cold** — `ArrowController::plan`, which rebuilds tunnels and both
+//!   LP models from scratch every interval, and
+//! * **warm** — `ArrowController::plan_warm`, which caches the Phase I
+//!   skeleton, patches demand bounds in place, and warm-starts each LP
+//!   from the previous interval's optimum.
+//!
+//! Both paths must agree exactly — identical winning tickets, Phase II
+//! objectives within 1e-6 relative — while the warm path runs faster.
+//! The run writes `BENCH_online.json` with per-interval solver stats and
+//! a summary block; the final asserts make CI fail on any divergence.
+//!
+//! Run: `cargo run --release --example online_sweep`
+
+use arrow_wan::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Diurnal scale factors: a day sampled every ~2.7 hours, tracing the
+/// familiar trough–peak–trough curve around the base gravity matrix.
+const DIURNAL: [f64; 9] = [0.60, 0.75, 0.95, 1.10, 1.15, 1.05, 0.90, 0.72, 0.62];
+
+struct Interval {
+    scale: f64,
+    seconds: f64,
+    objective: f64,
+    winning: Vec<usize>,
+    phase1: SolveStats,
+    phase2: SolveStats,
+}
+
+fn run_sweep(
+    ctl: &mut ArrowController,
+    tm: &TrafficMatrix,
+    warm: bool,
+) -> (Vec<Interval>, f64) {
+    let start = Instant::now();
+    let mut out = Vec::new();
+    for &scale in &DIURNAL {
+        let shifted = tm.scaled(scale);
+        let t0 = Instant::now();
+        let plan = if warm { ctl.plan_warm(&shifted) } else { ctl.plan(&shifted) }
+            .expect("valid offline state plans cleanly");
+        let seconds = t0.elapsed().as_secs_f64();
+        out.push(Interval {
+            scale,
+            seconds,
+            objective: plan.outcome.output.alloc.total_admitted(),
+            winning: plan.outcome.winning.clone(),
+            phase1: plan.outcome.phase1_stats,
+            phase2: plan.outcome.phase2_stats,
+        });
+    }
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn stats_json(s: &SolveStats) -> String {
+    format!(
+        "{{\"rows\": {}, \"cols\": {}, \"nnz\": {}, \"iterations\": {}, \
+         \"restarts\": {}, \"backend\": \"{}\", \"warm\": \"{}\", \"seconds\": {:.6}}}",
+        s.rows,
+        s.cols,
+        s.nnz,
+        s.iterations,
+        s.restarts,
+        s.backend.label(),
+        s.warm.label(),
+        s.solve_seconds
+    )
+}
+
+fn intervals_json(intervals: &[Interval]) -> String {
+    let mut s = String::from("[");
+    for (i, iv) in intervals.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let winning: Vec<String> = iv.winning.iter().map(|w| w.to_string()).collect();
+        let _ = write!(
+            s,
+            "{{\"scale\": {}, \"seconds\": {:.6}, \"objective\": {:.9}, \
+             \"winning\": [{}], \"phase1\": {}, \"phase2\": {}}}",
+            iv.scale,
+            iv.seconds,
+            iv.objective,
+            winning.join(", "),
+            stats_json(&iv.phase1),
+            stats_json(&iv.phase2)
+        );
+    }
+    s.push(']');
+    s
+}
+
+fn main() {
+    let wan = b4(17);
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+    let scens = failures.failure_scenarios().to_vec();
+    let cfg = ControllerConfig {
+        lottery: LotteryConfig { num_tickets: 40, ..Default::default() },
+        tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let tm = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() })
+        [0]
+    .scaled(3.0);
+
+    println!("== online-stage warm-vs-cold sweep: {} ==", wan.summary());
+    let mut ctl = ArrowController::new(wan, scens, cfg);
+    let z: usize = ctl
+        .offline()
+        .tickets
+        .per_scenario
+        .iter()
+        .map(|t| t.len())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "{} scenarios, |Z| up to {} tickets, {} diurnal intervals\n",
+        ctl.offline().scenarios.len(),
+        z,
+        DIURNAL.len()
+    );
+
+    let (cold, cold_wall) = run_sweep(&mut ctl, &tm, false);
+    let (warm, warm_wall) = run_sweep(&mut ctl, &tm, true);
+
+    println!("interval | scale | cold s | warm s | warm p1/p2 | objective match");
+    let mut objectives_match = true;
+    let mut winning_identical = true;
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        let rel = (c.objective - w.objective).abs() / (1.0 + c.objective.abs());
+        objectives_match &= rel <= 1e-6;
+        winning_identical &= c.winning == w.winning;
+        println!(
+            "  {:>6} | {:>5.2} | {:>6.3} | {:>6.3} | {:>4}/{:<4} | rel {:.2e}{}",
+            i,
+            c.scale,
+            c.seconds,
+            w.seconds,
+            w.phase1.warm.label(),
+            w.phase2.warm.label(),
+            rel,
+            if c.winning == w.winning { "" } else { "  WINNERS DIVERGED" }
+        );
+    }
+    let speedup = cold_wall / warm_wall.max(1e-12);
+    println!(
+        "\ncold wall {cold_wall:.3}s, warm wall {warm_wall:.3}s -> {speedup:.2}x end-to-end"
+    );
+
+    let json = format!(
+        "{{\n  \"topology\": \"B4\",\n  \"intervals\": {},\n  \"num_scenarios\": {},\n  \
+         \"num_tickets\": {},\n  \"cold_wall_seconds\": {:.6},\n  \"warm_wall_seconds\": {:.6},\n  \
+         \"speedup\": {:.4},\n  \"objectives_match\": {},\n  \"winning_identical\": {},\n  \
+         \"cold\": {},\n  \"warm\": {}\n}}\n",
+        DIURNAL.len(),
+        ctl.offline().scenarios.len(),
+        z,
+        cold_wall,
+        warm_wall,
+        speedup,
+        objectives_match,
+        winning_identical,
+        intervals_json(&cold),
+        intervals_json(&warm)
+    );
+    std::fs::write("BENCH_online.json", &json).expect("write BENCH_online.json");
+    println!("wrote BENCH_online.json");
+
+    assert!(objectives_match, "warm Phase II objectives diverged from cold (> 1e-6 relative)");
+    assert!(winning_identical, "warm winning-ticket choices diverged from cold");
+    assert!(
+        speedup >= 1.5,
+        "warm path speedup {speedup:.2}x below the 1.5x budget"
+    );
+    println!("OK: identical plans, {speedup:.2}x faster warm");
+}

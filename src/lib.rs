@@ -61,7 +61,10 @@ pub mod prelude {
         ControllerConfig, LinkRounding, LotteryConfig, OfflineStats, PlanError, ReconfigRule,
         RoundDirection, ScenarioStats, TePlan,
     };
-    pub use arrow_lp::{Backend, LinExpr, Model, Objective, Sense, SolverConfig};
+    pub use arrow_lp::{
+        Backend, LinExpr, Model, Objective, Sense, SolveStats, SolverConfig, WarmEvent,
+        WarmStart,
+    };
     pub use arrow_optical::{
         all_single_cut_ratios, empirical_cdf, greedy_assign, is_feasible, k_shortest_paths,
         path_inflation_analysis, roadm_reconfig_count, solve_relaxed, FiberId, Lightpath,
@@ -73,7 +76,7 @@ pub mod prelude {
     pub use arrow_te::{
         build_instance, eval::availability, eval::availability_guaranteed_throughput,
         eval::normalize_demand_scale, eval::play_scenario, eval::required_router_ports,
-        eval::PlaybackConfig, Arrow, ArrowNaive, Ecmp, Ffc, FlowId, MaxFlow,
+        eval::PlaybackConfig, Arrow, ArrowNaive, ArrowOnline, Ecmp, Ffc, FlowId, MaxFlow,
         RestorationTicket, SchemeOutput, TeaVar, TeInstance, TeScheme, TicketSet, TunnelConfig,
         TunnelId,
     };
