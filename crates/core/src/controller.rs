@@ -136,6 +136,36 @@ struct OnlineCache {
     online: ArrowOnline,
 }
 
+/// Process-global online-stage counters, flushed once per TE epoch.
+struct EpochMetrics {
+    cold: arrow_obs::Counter,
+    warm: arrow_obs::Counter,
+    seconds: arrow_obs::Histogram,
+}
+
+impl EpochMetrics {
+    fn record(&self, warm: bool, seconds: f64) {
+        if warm {
+            self.warm.inc();
+        } else {
+            self.cold.inc();
+        }
+        self.seconds.observe(seconds);
+    }
+}
+
+fn epoch_metrics() -> &'static EpochMetrics {
+    static METRICS: std::sync::OnceLock<EpochMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| EpochMetrics {
+        cold: arrow_obs::metrics::counter("epoch.cold"),
+        warm: arrow_obs::metrics::counter("epoch.warm"),
+        seconds: arrow_obs::metrics::histogram(
+            "epoch.seconds",
+            &[1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0],
+        ),
+    })
+}
+
 /// The ARROW controller.
 #[derive(Debug, Clone)]
 pub struct ArrowController {
@@ -190,11 +220,15 @@ impl ArrowController {
     /// solve — a ticketless scenario or a scenario/ticket-set mismatch —
     /// rather than panicking inside the TE scheme.
     pub fn plan(&self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        let _span = arrow_obs::span!("epoch", "mode" => "cold");
+        let t0 = std::time::Instant::now();
         self.validate_offline()?;
         let instance =
             build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
         let outcome = self.arrow_scheme().solve_detailed(&instance);
-        self.finish_plan(outcome, instance)
+        let plan = self.finish_plan(outcome, instance);
+        epoch_metrics().record(false, t0.elapsed().as_secs_f64());
+        plan
     }
 
     /// [`ArrowController::plan`] with cross-epoch caching: the first call
@@ -208,6 +242,8 @@ impl ArrowController {
     /// the same traffic matrix (identical winning tickets; Phase II
     /// objective equal up to solver tolerance).
     pub fn plan_warm(&mut self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        let _span = arrow_obs::span!("epoch", "mode" => "warm");
+        let t0 = std::time::Instant::now();
         self.validate_offline()?;
         if self.online.is_none() {
             let instance =
@@ -218,7 +254,9 @@ impl ArrowController {
         let cache = self.online.as_mut().expect("online cache populated above");
         let instance = cache.instance.with_demands(tm);
         let outcome = cache.online.solve(&instance);
-        self.finish_plan(outcome, instance)
+        let plan = self.finish_plan(outcome, instance);
+        epoch_metrics().record(true, t0.elapsed().as_secs_f64());
+        plan
     }
 
     /// Drops the cached online state (tunnels, LP skeleton, warm starts).

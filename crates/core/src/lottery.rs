@@ -302,6 +302,11 @@ fn scenario_tickets(
     index: usize,
     cfg: &LotteryConfig,
 ) -> (Vec<RestorationTicket>, ScenarioStats) {
+    let _span = arrow_obs::span!(
+        "offline.scenario",
+        "scenario" => index,
+        "cut_fibers" => scen.cut_fibers.len(),
+    );
     let t_start = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, index as u64));
     let seed = fractional_seed(wan, scen, &cfg.rwa);
@@ -355,7 +360,51 @@ fn scenario_tickets(
     }
     stats.kept = tickets.len();
     stats.seconds = t_start.elapsed().as_secs_f64();
+    offline_metrics().record_scenario(&stats);
     (tickets, stats)
+}
+
+/// Process-global offline-stage counters, flushed once per scenario.
+struct OfflineMetrics {
+    scenarios: arrow_obs::Counter,
+    rounds: arrow_obs::Counter,
+    kept: arrow_obs::Counter,
+    infeasible: arrow_obs::Counter,
+    duplicates: arrow_obs::Counter,
+    naive_fallbacks: arrow_obs::Counter,
+    scenario_seconds: arrow_obs::Histogram,
+    wall_seconds: arrow_obs::Gauge,
+}
+
+impl OfflineMetrics {
+    fn record_scenario(&self, s: &ScenarioStats) {
+        self.scenarios.inc();
+        self.rounds.add(s.rounds as u64);
+        self.kept.add(s.kept as u64);
+        self.infeasible.add(s.infeasible as u64);
+        self.duplicates.add(s.duplicates as u64);
+        if s.naive_fallback {
+            self.naive_fallbacks.inc();
+        }
+        self.scenario_seconds.observe(s.seconds);
+    }
+}
+
+fn offline_metrics() -> &'static OfflineMetrics {
+    static METRICS: std::sync::OnceLock<OfflineMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| OfflineMetrics {
+        scenarios: arrow_obs::metrics::counter("offline.scenarios"),
+        rounds: arrow_obs::metrics::counter("offline.rounds"),
+        kept: arrow_obs::metrics::counter("offline.tickets.kept"),
+        infeasible: arrow_obs::metrics::counter("offline.tickets.infeasible"),
+        duplicates: arrow_obs::metrics::counter("offline.tickets.duplicates"),
+        naive_fallbacks: arrow_obs::metrics::counter("offline.naive_fallbacks"),
+        scenario_seconds: arrow_obs::metrics::histogram(
+            "offline.scenario.seconds",
+            &[1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0],
+        ),
+        wall_seconds: arrow_obs::metrics::gauge("offline.wall.seconds"),
+    })
 }
 
 /// Generates the LotteryTicket set for every scenario (Algorithm 1 applied
@@ -389,6 +438,12 @@ pub fn generate_tickets_with_threads(
     cfg: &LotteryConfig,
     threads: usize,
 ) -> (TicketSet, OfflineStats) {
+    let _span = arrow_obs::span!(
+        "offline",
+        "scenarios" => scenarios.len(),
+        "threads" => threads,
+        "num_tickets" => cfg.num_tickets,
+    );
     let t0 = std::time::Instant::now();
     let indices: Vec<usize> = (0..scenarios.len()).collect();
     let results = crate::par::parallel_map_with(threads, indices, |&i| {
@@ -407,6 +462,7 @@ pub fn generate_tickets_with_threads(
         per_scenario.push(tickets);
     }
     stats.wall_seconds = t0.elapsed().as_secs_f64();
+    offline_metrics().wall_seconds.set(stats.wall_seconds);
     (TicketSet { per_scenario }, stats)
 }
 

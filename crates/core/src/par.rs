@@ -35,16 +35,33 @@ pub const THREADS_ENV: &str = "ARROW_THREADS";
 /// The worker count used by [`parallel_map`]: the `ARROW_THREADS`
 /// environment variable if set to an integer ≥ 1, else
 /// [`std::thread::available_parallelism`] (falling back to 4 when that is
-/// unavailable).
+/// unavailable). A malformed override (non-numeric, zero, negative) is
+/// reported through `arrow-obs` — a warn-level `par.threads.invalid` event
+/// plus a counter of the same name — and ignored.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    resolve_threads(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Pure core of [`default_threads`]: `raw` is the `ARROW_THREADS` value if
+/// the variable is set. Factored out so the fallback path is unit-testable
+/// without mutating the process environment.
+fn resolve_threads(raw: Option<&str>) -> usize {
+    let fallback = || std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    match raw {
+        None => fallback(),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                arrow_obs::metrics::counter("par.threads.invalid").inc();
+                arrow_obs::event!(
+                    warn: "par.threads.invalid",
+                    "value" => v,
+                    "fallback" => fallback(),
+                );
+                fallback()
             }
-        }
+        },
     }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
 }
 
 /// Runs `f` over `items` on [`default_threads`] workers, preserving order.
@@ -133,5 +150,37 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_accepts_valid_overrides() {
+        assert_eq!(resolve_threads(Some("3")), 3);
+        assert_eq!(resolve_threads(Some("  12 ")), 12);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_warns_and_falls_back_on_malformed_values() {
+        let expected = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let before = arrow_obs::metrics::snapshot().counter("par.threads.invalid");
+        let ring = std::sync::Arc::new(arrow_obs::RingSubscriber::new(64));
+        arrow_obs::trace::install(ring.clone());
+        for bad in ["", "zero", "0", "-2", "1.5"] {
+            assert_eq!(resolve_threads(Some(bad)), expected, "value {bad:?}");
+        }
+        arrow_obs::trace::uninstall();
+        let after = arrow_obs::metrics::snapshot().counter("par.threads.invalid");
+        assert_eq!(after - before, 5, "each malformed value counted");
+        let warnings: Vec<_> = ring
+            .records()
+            .into_iter()
+            .filter(|r| r.name == "par.threads.invalid")
+            .collect();
+        assert_eq!(warnings.len(), 5);
+        assert!(warnings.iter().all(|w| w.level == arrow_obs::Level::Warn));
+        assert_eq!(
+            warnings[1].field("value").and_then(arrow_obs::FieldValue::as_str),
+            Some("zero")
+        );
     }
 }

@@ -119,6 +119,7 @@ struct Simplex<'a> {
     binv: Vec<f64>,
     m: usize,
     iterations: usize,
+    refactors: usize,
     pivots_since_refactor: usize,
     degenerate_streak: usize,
     /// Scratch vectors reused across iterations.
@@ -240,6 +241,7 @@ impl<'a> Simplex<'a> {
             binv,
             m,
             iterations: 0,
+            refactors: 0,
             pivots_since_refactor: 0,
             degenerate_streak: 0,
             y: vec![0.0; m],
@@ -306,6 +308,7 @@ impl<'a> Simplex<'a> {
             binv: vec![0.0; m * m],
             m,
             iterations: 0,
+            refactors: 0,
             pivots_since_refactor: 0,
             degenerate_streak: 0,
             y: vec![0.0; m],
@@ -374,6 +377,7 @@ impl<'a> Simplex<'a> {
     /// refreshes the basic variable values. Returns `false` if the basis is
     /// numerically singular.
     fn refactorize(&mut self) -> bool {
+        self.refactors += 1;
         let m = self.m;
         // Build the dense basis matrix.
         let mut mat = vec![0.0; m * m];
@@ -810,6 +814,7 @@ fn solve_prepared<'a>(
             Solution::failed(status, n, m)
         };
         sol.stats.iterations = s.iterations;
+        sol.stats.refactors = s.refactors;
         sol.stats.backend = BackendKind::Simplex;
         sol.stats.rows = m;
         sol.stats.cols = n;
@@ -827,7 +832,7 @@ fn solve_prepared<'a>(
         duals: s.y.iter().map(|&v| lp.obj_sign * v).collect(),
         basis: Some(s.snapshot_basis()),
         x,
-        stats: SolveStats { iterations: s.iterations, ..base_stats(lp) },
+        stats: SolveStats { iterations: s.iterations, refactors: s.refactors, ..base_stats(lp) },
     }
 }
 

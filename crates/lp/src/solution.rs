@@ -56,6 +56,8 @@ pub struct SolveStats {
     pub warm: WarmEvent,
     /// Adaptive restarts performed (PDHG only).
     pub restarts: usize,
+    /// Basis refactorizations performed (simplex only).
+    pub refactors: usize,
 }
 
 /// The result of solving a model.

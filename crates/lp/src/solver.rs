@@ -9,8 +9,8 @@ use crate::milp::{self, MilpConfig};
 use crate::model::Model;
 use crate::pdhg::{self, PdhgConfig};
 use crate::simplex::{self, SimplexConfig};
-use crate::solution::Solution;
-use crate::warm::{BackendKind, WarmStart};
+use crate::solution::{Solution, SolveStats};
+use crate::warm::{BackendKind, WarmEvent, WarmStart};
 
 /// Which algorithm executes the solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,8 +87,84 @@ pub fn solve(model: &Model, cfg: &SolverConfig) -> Solution {
 /// presolve path ignore warm starts (presolve renumbers columns, which
 /// would silently misalign the point).
 pub fn solve_with(model: &Model, cfg: &SolverConfig, warm: Option<&WarmStart>) -> Solution {
+    let _span = arrow_obs::span!(
+        "lp.solve",
+        "rows" => model.num_cons(),
+        "cols" => model.num_vars(),
+        "warm" => warm.is_some(),
+    );
     let start = std::time::Instant::now();
-    let mut sol = if model.num_int_vars() > 0 {
+    let mut sol = solve_inner(model, cfg, warm, start);
+    sol.stats.solve_seconds = start.elapsed().as_secs_f64();
+    lp_metrics().record(&sol.stats);
+    sol
+}
+
+/// Process-global work counters, flushed once per solve (never per pivot —
+/// the hot loops accumulate locally in [`SolveStats`]).
+struct LpMetrics {
+    solves: arrow_obs::Counter,
+    solve_seconds: arrow_obs::Histogram,
+    simplex_iterations: arrow_obs::Counter,
+    simplex_refactors: arrow_obs::Counter,
+    pdhg_iterations: arrow_obs::Counter,
+    pdhg_restarts: arrow_obs::Counter,
+    milp_nodes: arrow_obs::Counter,
+    warm_hit: arrow_obs::Counter,
+    warm_miss: arrow_obs::Counter,
+    warm_cold: arrow_obs::Counter,
+}
+
+impl LpMetrics {
+    fn record(&self, stats: &SolveStats) {
+        self.solves.inc();
+        self.solve_seconds.observe(stats.solve_seconds);
+        match stats.backend {
+            BackendKind::Simplex => {
+                self.simplex_iterations.add(stats.iterations as u64);
+                self.simplex_refactors.add(stats.refactors as u64);
+            }
+            BackendKind::Pdhg => {
+                self.pdhg_iterations.add(stats.iterations as u64);
+                self.pdhg_restarts.add(stats.restarts as u64);
+            }
+            BackendKind::Milp => self.milp_nodes.add(stats.nodes as u64),
+            BackendKind::None => {}
+        }
+        match stats.warm {
+            WarmEvent::Hit => self.warm_hit.inc(),
+            WarmEvent::Miss => self.warm_miss.inc(),
+            WarmEvent::Cold => self.warm_cold.inc(),
+        }
+    }
+}
+
+fn lp_metrics() -> &'static LpMetrics {
+    static METRICS: std::sync::OnceLock<LpMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| LpMetrics {
+        solves: arrow_obs::metrics::counter("lp.solves"),
+        solve_seconds: arrow_obs::metrics::histogram(
+            "lp.solve.seconds",
+            &[1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0],
+        ),
+        simplex_iterations: arrow_obs::metrics::counter("lp.simplex.iterations"),
+        simplex_refactors: arrow_obs::metrics::counter("lp.simplex.refactors"),
+        pdhg_iterations: arrow_obs::metrics::counter("lp.pdhg.iterations"),
+        pdhg_restarts: arrow_obs::metrics::counter("lp.pdhg.restarts"),
+        milp_nodes: arrow_obs::metrics::counter("lp.milp.nodes"),
+        warm_hit: arrow_obs::metrics::counter("lp.warm.hit"),
+        warm_miss: arrow_obs::metrics::counter("lp.warm.miss"),
+        warm_cold: arrow_obs::metrics::counter("lp.warm.cold"),
+    })
+}
+
+fn solve_inner(
+    model: &Model,
+    cfg: &SolverConfig,
+    warm: Option<&WarmStart>,
+    start: std::time::Instant,
+) -> Solution {
+    if model.num_int_vars() > 0 {
         let mut s = milp::solve(model, &cfg.milp);
         s.stats.backend = BackendKind::Milp;
         s.stats.rows = model.num_cons();
@@ -153,9 +229,7 @@ pub fn solve_with(model: &Model, cfg: &SolverConfig, warm: Option<&WarmStart>) -
             Some(r) if sol.status.is_usable() => r.expand(&sol),
             _ => sol,
         }
-    };
-    sol.stats.solve_seconds = start.elapsed().as_secs_f64();
-    sol
+    }
 }
 
 /// Solves with default configuration.
@@ -211,6 +285,23 @@ mod tests {
     fn solve_records_wall_time() {
         let s = solve_default(&tiny_model());
         assert!(s.stats.solve_seconds >= 0.0);
+    }
+
+    #[test]
+    fn solve_flushes_obs_counters() {
+        let before = arrow_obs::metrics::snapshot();
+        let s = solve(&tiny_model(), &SolverConfig::exact());
+        let after = arrow_obs::metrics::snapshot();
+        // The simplex always refactorizes at least once (initial basis).
+        assert!(s.stats.refactors >= 1);
+        assert!(after.counter("lp.solves") > before.counter("lp.solves"));
+        assert!(after.counter("lp.warm.cold") > before.counter("lp.warm.cold"));
+        assert!(
+            after.counter("lp.simplex.refactors")
+                >= before.counter("lp.simplex.refactors") + s.stats.refactors as u64
+        );
+        let hist = after.histogram("lp.solve.seconds").expect("registered");
+        assert!(hist.count > before.histogram("lp.solve.seconds").map_or(0, |h| h.count));
     }
 }
 #[cfg(test)]

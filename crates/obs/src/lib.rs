@@ -1,0 +1,67 @@
+//! # arrow-obs — structured tracing and metrics for the ARROW workspace
+//!
+//! ARROW's claim rests on operational timing: the online stage must pick a
+//! winning LotteryTicket and re-allocate traffic within a TE epoch after a
+//! fiber cut. Answering "how long did it take and why" therefore needs one
+//! instrumentation layer every crate emits into and every sweep reads out
+//! of, instead of per-binary `Instant::now()` bookkeeping. This crate is
+//! that layer, in two halves:
+//!
+//! * [`metrics`] — a process-global registry of named counters, gauges, and
+//!   fixed-bucket histograms backed by atomics. Always on (an update is a
+//!   handful of atomic operations), snapshot on demand as JSON or
+//!   Prometheus-style text exposition.
+//! * [`trace`] — structured spans and events: [`span!`]/[`event!`] with a
+//!   thread-local span stack, monotonic timestamps, and key-value fields,
+//!   delivered to an installed [`trace::Subscriber`]. With no subscriber
+//!   installed the entire path is one relaxed atomic load — fields are not
+//!   even evaluated — so instrumentation is effectively free when off.
+//!
+//! Subscribers shipped: [`trace::FileSubscriber`] (JSONL, one record per
+//! line, for run reports), [`trace::RingSubscriber`] (bounded in-memory
+//! buffer, for tests and sweeps), and [`trace::FanoutSubscriber`]
+//! (broadcast to several).
+//!
+//! Deliberately omitted, in the spirit of the repo's synchronous CPU-bound
+//! design: no async integration, no sampling, no per-record levels beyond
+//! info/warn, no cross-thread span parentage (a span opened on a worker
+//! thread is a root on that thread; records carry a thread id instead),
+//! and no external dependencies of any kind.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use arrow_obs::{event, span};
+//! use std::sync::Arc;
+//!
+//! // Metrics are always on.
+//! let solves = arrow_obs::metrics::counter("doc.solves");
+//! solves.inc();
+//!
+//! // Traces go to an installed subscriber.
+//! let ring = Arc::new(arrow_obs::trace::RingSubscriber::new(64));
+//! arrow_obs::trace::install(ring.clone());
+//! {
+//!     let _epoch = span!("doc.epoch", "interval" => 3_usize);
+//!     event!("doc.note", "detail" => "inside the span");
+//! } // span closed here, duration recorded
+//! arrow_obs::trace::uninstall();
+//!
+//! assert_eq!(ring.finished_spans("doc.epoch").len(), 1);
+//! assert!(arrow_obs::metrics::snapshot().to_json().contains("doc.solves"));
+//! ```
+
+// The counting-allocator test harness (zero-allocation contract for the
+// disabled tracing path) needs a `GlobalAlloc` impl, which is unsafe; the
+// shipped library remains entirely safe code.
+#![cfg_attr(not(test), forbid(unsafe_code))]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Snapshot};
+pub use trace::{
+    FanoutSubscriber, FieldValue, FileSubscriber, Level, Record, RecordKind, RingSubscriber,
+    SpanGuard, Subscriber,
+};

@@ -1,0 +1,567 @@
+//! Process-global metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Metrics are **always on**. Handles are registered by static name and
+//! backed by atomics, so an update is a handful of relaxed atomic
+//! operations with no locking — cheap enough for per-solve and per-event
+//! bookkeeping (per-pivot hot loops should accumulate locally and record
+//! once per solve, which is what `arrow-lp` does). Instrumented crates
+//! cache their handles in `OnceLock` statics; registration itself takes a
+//! short-lived mutex and happens once per name.
+//!
+//! [`snapshot`] serializes the whole registry — deterministically, in
+//! lexicographic name order — to JSON ([`Snapshot::to_json`]) or a
+//! Prometheus-style text exposition ([`Snapshot::to_prometheus`]) for
+//! dumping at process exit or on demand.
+//!
+//! Deliberately omitted: labels/dimensions (encode them in the name),
+//! metric unregistration, and push-based export.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON value (`null` for non-finite).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Adds `d` to an `f64` stored as bits in an [`AtomicU64`].
+fn f64_add(bits: &AtomicU64, d: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + d).to_bits();
+        match bits.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` gauge (last write wins).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (atomically, via compare-exchange).
+    pub fn add(&self, d: f64) {
+        f64_add(&self.bits, d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Finite bucket upper bounds, strictly increasing; an implicit
+    /// overflow bucket (`+inf`) follows the last one.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` entries.
+    buckets: Vec<AtomicU64>,
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram: observations land in the first bucket whose
+/// upper bound is `>= value`, or in the implicit overflow bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.inner.bounds)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let i = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        f64_add(&self.inner.sum_bits, v);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Bucket upper bounds (finite ones; the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts, `bounds().len() + 1` entries (last = overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner.buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the bucket
+    /// where the cumulative count first reaches `q · count`. Exact only up
+    /// to bucket resolution; observations past the last bound report
+    /// [`f64::INFINITY`]. Returns `NaN` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.inner.buckets.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= target {
+                return self.inner.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// One registered metric.
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `BTreeMap` keeps snapshots in deterministic (lexicographic) order — the
+/// same hash-order discipline the offline stage follows (see DESIGN.md).
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn register(name: &'static str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let entry = reg.entry(name).or_insert_with(make);
+    entry.clone()
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> Counter {
+    match register(name, || Metric::Counter(Counter { cell: Arc::new(AtomicU64::new(0)) })) {
+        Metric::Counter(c) => c,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Returns the gauge registered under `name`, creating it on first use.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> Gauge {
+    match register(name, || Metric::Gauge(Gauge { bits: Arc::new(AtomicU64::new(0)) })) {
+        Metric::Gauge(g) => g,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Returns the histogram registered under `name`, creating it with the
+/// given finite bucket upper bounds on first use (later registrations keep
+/// the first bounds).
+///
+/// # Panics
+/// Panics if `bounds` is empty or not strictly increasing on first
+/// registration, or if `name` is already registered as a different kind.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> Histogram {
+    let made = register(name, || {
+        assert!(!bounds.is_empty(), "histogram {name:?} needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram {name:?} bounds must be finite and strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Metric::Histogram(Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0),
+            }),
+        })
+    });
+    match made {
+        Metric::Histogram(h) => h,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid). Intended for the
+/// start of an example or test run; concurrent updates during the reset
+/// land before or after it, never half-applied per metric value.
+pub fn reset() {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    for m in reg.values() {
+        match m {
+            Metric::Counter(c) => c.cell.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                for b in &h.inner.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.inner.count.store(0, Ordering::Relaxed);
+                h.inner.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Point-in-time values of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries, last = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// A point-in-time copy of the whole registry, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histogram values.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Takes a snapshot of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    let mut snap = Snapshot::default();
+    for (&name, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => snap.counters.push((name, c.get())),
+            Metric::Gauge(g) => snap.gauges.push((name, g.get())),
+            Metric::Histogram(h) => snap.histograms.push((
+                name,
+                HistogramSnapshot {
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                    count: h.count(),
+                    sum: h.sum(),
+                },
+            )),
+        }
+    }
+    snap
+}
+
+impl Snapshot {
+    /// Counter value by name (0 when absent — counters default to zero).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Gauge value by name (`None` when never registered).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram values by name (`None` when never registered).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", json_escape(name), json_f64(*v)));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(name),
+                h.count,
+                json_f64(h.sum)
+            ));
+            for (j, &c) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let le = h.bounds.get(j).map_or("\"+inf\"".to_string(), |b| json_f64(*b));
+                s.push_str(&format!("{{\"le\": {le}, \"count\": {c}}}"));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format
+    /// (metric names sanitized: `.` and `-` become `_`).
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.replace(['.', '-'], "_")
+        }
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            s.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            s.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            s.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (j, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                let le = h.bounds.get(j).map_or("+Inf".to_string(), |b| format!("{b}"));
+                s.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            s.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_name_returns_same_instance() {
+        let a = counter("test.metrics.shared");
+        let b = counter("test.metrics.shared");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), b.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.metrics.kind_clash");
+        let _ = gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless() {
+        let c = counter("test.metrics.concurrent_counter");
+        let start = c.get();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - start, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn concurrent_histogram_updates_are_lossless() {
+        let h = histogram("test.metrics.concurrent_hist", &[1.0, 2.0, 4.0, 8.0]);
+        let (count0, sum0) = (h.count(), h.sum());
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Deterministic spread over all buckets incl. overflow.
+                        h.observe(((t + i) % 10) as f64);
+                    }
+                });
+            }
+        });
+        let observed = (THREADS * PER_THREAD) as u64;
+        assert_eq!(h.count() - count0, observed);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        // Sum is an exact integer total here, so float CAS must be lossless.
+        let expected_sum: f64 = (0..THREADS)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| ((t + i) % 10) as f64))
+            .sum();
+        assert!(
+            ((h.sum() - sum0) - expected_sum).abs() < 1e-6,
+            "sum {} vs expected {expected_sum}",
+            h.sum() - sum0
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_resolution() {
+        let bounds: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let h = histogram("test.metrics.quantile_hist", &bounds);
+        // 1000 observations uniform over (0, 10]: value k/100 for k=1..=1000.
+        for k in 1..=1000 {
+            h.observe(k as f64 / 100.0);
+        }
+        // True p50 = 5.0; the estimate reports a bucket upper bound, so it
+        // must land within one bucket width (1.0) of the true quantile.
+        for (q, truth) in [(0.1, 1.0), (0.5, 5.0), (0.9, 9.0), (1.0, 10.0)] {
+            let est = h.quantile(q);
+            assert!(
+                (est - truth).abs() <= 1.0 + 1e-9,
+                "q={q}: estimate {est} vs truth {truth}"
+            );
+        }
+        // Overflow observations push the tail quantile to +inf.
+        h.observe(1e9);
+        assert!(h.quantile(1.0).is_infinite());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let h = histogram("test.metrics.empty_hist", &[1.0]);
+        if h.count() == 0 {
+            assert!(h.quantile(0.5).is_nan());
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_both_formats() {
+        counter("test.metrics.snap_counter").add(3);
+        gauge("test.metrics.snap_gauge").set(1.25);
+        histogram("test.metrics.snap_hist", &[0.5, 1.5]).observe(1.0);
+        let snap = snapshot();
+        assert!(snap.counter("test.metrics.snap_counter") >= 3);
+        assert_eq!(snap.gauge("test.metrics.snap_gauge"), Some(1.25));
+        assert!(snap.histogram("test.metrics.snap_hist").is_some_and(|h| h.count >= 1));
+        let json = snap.to_json();
+        assert!(json.contains("\"test.metrics.snap_counter\""));
+        assert!(json.contains("\"le\": \"+inf\""));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE test_metrics_snap_counter counter"));
+        assert!(prom.contains("test_metrics_snap_hist_bucket{le=\"+Inf\"}"));
+        // Names are in deterministic lexicographic order.
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

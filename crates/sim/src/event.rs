@@ -6,6 +6,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Simulation timestamp in seconds.
 pub type SimTime = f64;
@@ -39,6 +40,29 @@ impl<E> Ord for Entry<E> {
             .unwrap_or(Ordering::Equal)
             .then(other.seq.cmp(&self.seq))
     }
+}
+
+/// Process-global event-loop health metrics, shared by every queue
+/// instance: current depth, total pops, and the distribution of how far
+/// ahead of `now` events are scheduled (the calendar horizon).
+struct QueueMetrics {
+    depth: arrow_obs::Gauge,
+    scheduled: arrow_obs::Counter,
+    popped: arrow_obs::Counter,
+    horizon_seconds: arrow_obs::Histogram,
+}
+
+fn queue_metrics() -> &'static QueueMetrics {
+    static METRICS: OnceLock<QueueMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| QueueMetrics {
+        depth: arrow_obs::metrics::gauge("sim.queue.depth"),
+        scheduled: arrow_obs::metrics::counter("sim.queue.scheduled"),
+        popped: arrow_obs::metrics::counter("sim.queue.popped"),
+        horizon_seconds: arrow_obs::metrics::histogram(
+            "sim.queue.horizon.seconds",
+            &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0],
+        ),
+    })
 }
 
 /// The event calendar.
@@ -75,6 +99,10 @@ impl<E> EventQueue<E> {
         assert!(at.is_finite(), "event time must be finite");
         self.heap.push(Entry { time: at, seq: self.seq, payload });
         self.seq += 1;
+        let m = queue_metrics();
+        m.scheduled.inc();
+        m.depth.set(self.heap.len() as f64);
+        m.horizon_seconds.observe(at - self.now);
     }
 
     /// Schedules `payload` after a relative delay.
@@ -86,6 +114,9 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
             self.now = e.time;
+            let m = queue_metrics();
+            m.popped.inc();
+            m.depth.set(self.heap.len() as f64);
             (e.time, e.payload)
         })
     }

@@ -384,12 +384,27 @@ impl Arrow {
 
     /// Full two-phase solve with timing and solver-observability detail.
     pub fn solve_detailed(&self, inst: &TeInstance) -> ArrowOutcome {
-        let p1 = self.build_phase1(inst);
-        let sol1 = arrow_lp::solve(&p1.base.model, &self.solver);
+        let (p1, sol1) = {
+            let _span = arrow_obs::span!(
+                "te.phase1",
+                "flows" => inst.flows.len(),
+                "scenarios" => inst.scenarios.len(),
+            );
+            let p1 = self.build_phase1(inst);
+            let sol1 = arrow_lp::solve(&p1.base.model, &self.solver);
+            (p1, sol1)
+        };
         assert!(sol1.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol1.status);
-        let winning = self.select_winning(inst, &p1.base, &sol1);
-        let (base2, plan) = self.build_phase2(inst, &winning);
-        let sol2 = arrow_lp::solve(&base2.model, &self.solver);
+        let winning = {
+            let _span = arrow_obs::span!("te.select", "scenarios" => inst.scenarios.len());
+            self.select_winning(inst, &p1.base, &sol1)
+        };
+        let (base2, plan, sol2) = {
+            let _span = arrow_obs::span!("te.phase2");
+            let (base2, plan) = self.build_phase2(inst, &winning);
+            let sol2 = arrow_lp::solve(&base2.model, &self.solver);
+            (base2, plan, sol2)
+        };
         assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
         let mut output = SchemeOutput {
             alloc: extract_alloc(inst, &base2, &sol2, "ARROW"),
@@ -520,34 +535,47 @@ impl ArrowOnline {
             (inst.flows.len(), inst.tunnels.len(), inst.scenarios.len()),
             "instance structure changed; rebuild ArrowOnline"
         );
-        // Demand enters Phase I only through the b_f upper bounds.
-        for (fi, f) in inst.flows.iter().enumerate() {
-            self.phase1.base.model.set_bounds(self.phase1.base.b[fi], 0.0, f.demand_gbps);
-        }
-        let sol1 =
-            arrow_lp::solve_with(&self.phase1.base.model, &self.arrow.solver, self.phase1_warm.as_ref());
+        let sol1 = {
+            let _span = arrow_obs::span!(
+                "te.phase1",
+                "flows" => inst.flows.len(),
+                "scenarios" => inst.scenarios.len(),
+            );
+            // Demand enters Phase I only through the b_f upper bounds.
+            for (fi, f) in inst.flows.iter().enumerate() {
+                self.phase1.base.model.set_bounds(self.phase1.base.b[fi], 0.0, f.demand_gbps);
+            }
+            arrow_lp::solve_with(&self.phase1.base.model, &self.arrow.solver, self.phase1_warm.as_ref())
+        };
         assert!(sol1.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol1.status);
         self.phase1_warm = sol1.warm_start();
-        let winning = self.arrow.select_winning(inst, &self.phase1.base, &sol1);
-        let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
-        if !cache_valid {
-            let (base, plan) = self.arrow.build_phase2(inst, &winning);
-            // Seed Phase II from the Phase I allocation: both models
-            // allocate b then a first, so the variable prefix is shared.
-            // (No basis: the row sets differ, so only the point maps.)
-            let ncols = base.model.num_vars();
-            let warm = Some(WarmStart::from_point(PrimalDual {
-                x: sol1.x[..ncols].to_vec(),
-                y: Vec::new(),
-            }));
-            self.phase2 = Some(Phase2Cache { winning: winning.clone(), base, plan, warm });
-        }
-        let cache = self.phase2.as_mut().expect("phase2 cache populated above");
-        for (fi, f) in inst.flows.iter().enumerate() {
-            cache.base.model.set_bounds(cache.base.b[fi], 0.0, f.demand_gbps);
-        }
-        let sol2 = arrow_lp::solve_with(&cache.base.model, &self.arrow.solver, cache.warm.as_ref());
+        let winning = {
+            let _span = arrow_obs::span!("te.select", "scenarios" => inst.scenarios.len());
+            self.arrow.select_winning(inst, &self.phase1.base, &sol1)
+        };
+        let sol2 = {
+            let _span = arrow_obs::span!("te.phase2");
+            let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
+            if !cache_valid {
+                let (base, plan) = self.arrow.build_phase2(inst, &winning);
+                // Seed Phase II from the Phase I allocation: both models
+                // allocate b then a first, so the variable prefix is shared.
+                // (No basis: the row sets differ, so only the point maps.)
+                let ncols = base.model.num_vars();
+                let warm = Some(WarmStart::from_point(PrimalDual {
+                    x: sol1.x[..ncols].to_vec(),
+                    y: Vec::new(),
+                }));
+                self.phase2 = Some(Phase2Cache { winning: winning.clone(), base, plan, warm });
+            }
+            let cache = self.phase2.as_mut().expect("phase2 cache populated above");
+            for (fi, f) in inst.flows.iter().enumerate() {
+                cache.base.model.set_bounds(cache.base.b[fi], 0.0, f.demand_gbps);
+            }
+            arrow_lp::solve_with(&cache.base.model, &self.arrow.solver, cache.warm.as_ref())
+        };
         assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
+        let cache = self.phase2.as_mut().expect("phase2 cache populated above");
         cache.warm = sol2.warm_start();
         let mut output = SchemeOutput {
             alloc: extract_alloc(inst, &cache.base, &sol2, "ARROW"),

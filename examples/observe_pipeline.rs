@@ -1,0 +1,124 @@
+//! Full-pipeline run report through the `arrow-obs` layer.
+//!
+//! Runs the complete ARROW pipeline on B4 — offline LotteryTicket
+//! generation, then a nine-interval diurnal replay through the warm online
+//! path — with a `FileSubscriber` installed, and writes:
+//!
+//! * `trace.jsonl` — every span and event, one JSON record per line
+//!   (span ends re-carry their fields plus a `duration_nanos`), and
+//! * `metrics.json` — the full metrics-registry snapshot.
+//!
+//! It then prints a per-stage wall-clock breakdown table assembled from
+//! the trace and asserts the span tree the CI smoke check relies on:
+//! exactly one `offline` span, nine `epoch` spans, and phase-1 / winner
+//! selection / phase-2 spans with non-zero durations.
+//!
+//! Run: `cargo run --release --example observe_pipeline`
+
+use arrow_wan::obs::{FanoutSubscriber, FieldValue, FileSubscriber, RecordKind, RingSubscriber};
+use arrow_wan::prelude::*;
+use std::sync::Arc;
+
+/// The same diurnal curve the online sweep replays (§5).
+const DIURNAL: [f64; 9] = [0.60, 0.75, 0.95, 1.10, 1.15, 1.05, 0.90, 0.72, 0.62];
+
+fn main() {
+    // Trace to disk for the artifact and to a ring for the in-process
+    // breakdown + assertions.
+    let file = Arc::new(FileSubscriber::create("trace.jsonl").expect("create trace.jsonl"));
+    let ring = Arc::new(RingSubscriber::new(65536));
+    arrow_wan::obs::trace::install(Arc::new(FanoutSubscriber::new(vec![
+        file.clone(),
+        ring.clone(),
+    ])));
+
+    // Offline stage: parallel ticket generation (emits the `offline` span
+    // with one `offline.scenario` span per worker item).
+    let wan = b4(17);
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+    let scens = failures.failure_scenarios().to_vec();
+    let cfg = ControllerConfig {
+        lottery: LotteryConfig { num_tickets: 40, ..Default::default() },
+        tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
+        ..Default::default()
+    };
+    println!("== observe_pipeline: {} ==", wan.summary());
+    let mut ctl = ArrowController::new(wan, scens, cfg);
+    println!("offline: {}", ctl.offline().stats.summary());
+
+    // Online stage: diurnal replay over the warm path (one `epoch` span
+    // per interval, each wrapping te.phase1 / te.select / te.phase2).
+    let tm = gravity_matrices(
+        &ctl.wan,
+        &TrafficConfig { num_matrices: 1, ..Default::default() },
+    )[0]
+    .scaled(3.0);
+    for (i, &scale) in DIURNAL.iter().enumerate() {
+        let plan = ctl.plan_warm(&tm.scaled(scale)).expect("valid offline state plans cleanly");
+        println!(
+            "epoch {i}: scale {scale:.2} -> admitted {:.1} Gbps, winners {:?}",
+            plan.outcome.output.alloc.total_admitted(),
+            plan.outcome.winning
+        );
+    }
+
+    arrow_wan::obs::trace::uninstall();
+    file.flush().expect("flush trace.jsonl");
+    let metrics = arrow_wan::obs::metrics::snapshot();
+    std::fs::write("metrics.json", metrics.to_json()).expect("write metrics.json");
+    println!("\nwrote trace.jsonl + metrics.json");
+
+    // Per-stage wall-clock breakdown from the trace.
+    let records = ring.records();
+    println!("\nstage          | spans | total s  | mean ms");
+    for stage in ["offline", "offline.scenario", "epoch", "te.phase1", "te.select", "te.phase2", "lp.solve"]
+    {
+        let durations: Vec<f64> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanEnd && r.name == stage)
+            .filter_map(|r| r.duration_seconds())
+            .collect();
+        let total: f64 = durations.iter().sum();
+        let mean_ms = if durations.is_empty() { 0.0 } else { 1e3 * total / durations.len() as f64 };
+        println!("{stage:<14} | {:>5} | {total:>8.3} | {mean_ms:>7.3}", durations.len());
+    }
+
+    // Span-tree assertions (the CI smoke check greps trace.jsonl for the
+    // same structure).
+    let finished = |name: &str| -> Vec<_> {
+        records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanEnd && r.name == name)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(finished("offline").len(), 1, "exactly one offline span");
+    let epochs = finished("epoch");
+    assert_eq!(epochs.len(), DIURNAL.len(), "one epoch span per diurnal interval");
+    assert!(
+        epochs.iter().all(|e| e.field("mode").and_then(FieldValue::as_str) == Some("warm")),
+        "diurnal replay runs the warm path"
+    );
+    for phase in ["te.phase1", "te.select", "te.phase2"] {
+        let spans = finished(phase);
+        assert_eq!(spans.len(), DIURNAL.len(), "one {phase} span per epoch");
+        assert!(
+            spans.iter().all(|s| s.duration_nanos.unwrap_or(0) > 0),
+            "{phase} spans have non-zero durations"
+        );
+    }
+    // Parentage: every te.* span sits inside an epoch span.
+    let epoch_ids: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::SpanStart && r.name == "epoch")
+        .map(|r| r.span_id)
+        .collect();
+    assert!(
+        records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart && r.name.starts_with("te."))
+            .all(|r| r.parent_id.is_some_and(|p| epoch_ids.contains(&p))),
+        "te.* spans are children of epoch spans"
+    );
+    println!("\nOK: span tree covers offline, {} epochs, and all three online phases", epochs.len());
+}

@@ -10,7 +10,9 @@
 //! Run: `cargo run --release --example offline_sweep`
 //! (`ARROW_THREADS` caps the widest run.)
 
+use arrow_wan::obs::RingSubscriber;
 use arrow_wan::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let wan = ibm(17);
@@ -33,28 +35,39 @@ fn main() {
     }
     println!("host reports {max_threads} available thread(s)\n");
 
+    // Wall clock per run is read back from the obs "offline" span rather
+    // than the bespoke Instant bookkeeping inside OfflineStats.
+    let ring = Arc::new(RingSubscriber::new(4096));
+    arrow_wan::obs::trace::install(ring.clone());
+
     let mut serial_wall = None;
     let mut digests = Vec::new();
     let mut last_stats: Option<OfflineStats> = None;
     for &threads in &sweep {
+        ring.clear();
         let (set, stats) = generate_tickets_with_threads(&wan, &scens, &cfg, threads);
+        let offline_spans = ring.finished_spans("offline");
+        assert_eq!(offline_spans.len(), 1, "one offline span per generation run");
+        let wall = offline_spans[0].duration_seconds().expect("span end carries a duration");
         let speedup_vs_serial = match serial_wall {
             None => {
-                serial_wall = Some(stats.wall_seconds);
+                serial_wall = Some(wall);
                 1.0
             }
-            Some(base) => base / stats.wall_seconds.max(1e-12),
+            Some(base) => base / wall.max(1e-12),
         };
         println!(
-            "threads {:>2}: {}  | vs 1-thread wall: {:.2}x | digest {:016x}",
+            "threads {:>2}: {}  | obs wall {:.2}s | vs 1-thread wall: {:.2}x | digest {:016x}",
             threads,
             stats.summary(),
+            wall,
             speedup_vs_serial,
             set.digest()
         );
         digests.push(set.digest());
         last_stats = Some(stats);
     }
+    arrow_wan::obs::trace::uninstall();
 
     assert!(
         digests.windows(2).all(|w| w[0] == w[1]),

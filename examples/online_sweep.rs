@@ -17,9 +17,10 @@
 //!
 //! Run: `cargo run --release --example online_sweep`
 
+use arrow_wan::obs::{FieldValue, RingSubscriber};
 use arrow_wan::prelude::*;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Diurnal scale factors: a day sampled every ~2.7 hours, tracing the
 /// familiar trough–peak–trough curve around the base gravity matrix.
@@ -38,39 +39,74 @@ fn run_sweep(
     ctl: &mut ArrowController,
     tm: &TrafficMatrix,
     warm: bool,
+    ring: &RingSubscriber,
 ) -> (Vec<Interval>, f64) {
-    let start = Instant::now();
+    ring.clear();
     let mut out = Vec::new();
     for &scale in &DIURNAL {
         let shifted = tm.scaled(scale);
-        let t0 = Instant::now();
         let plan = if warm { ctl.plan_warm(&shifted) } else { ctl.plan(&shifted) }
             .expect("valid offline state plans cleanly");
-        let seconds = t0.elapsed().as_secs_f64();
         out.push(Interval {
             scale,
-            seconds,
+            seconds: 0.0,
             objective: plan.outcome.output.alloc.total_admitted(),
             winning: plan.outcome.winning.clone(),
             phase1: plan.outcome.phase1_stats,
             phase2: plan.outcome.phase2_stats,
         });
     }
-    (out, start.elapsed().as_secs_f64())
+    // Per-interval wall clock comes from the controller's own "epoch"
+    // trace spans rather than bespoke Instant bookkeeping around the call.
+    let epochs = ring.finished_spans("epoch");
+    assert_eq!(epochs.len(), out.len(), "one epoch span per diurnal interval");
+    let expected_mode = if warm { "warm" } else { "cold" };
+    for (iv, span) in out.iter_mut().zip(&epochs) {
+        assert_eq!(
+            span.field("mode").and_then(FieldValue::as_str),
+            Some(expected_mode),
+            "epoch span mode matches the sweep variant"
+        );
+        iv.seconds = span.duration_seconds().expect("span end carries a duration");
+    }
+    let wall = out.iter().map(|iv| iv.seconds).sum();
+    (out, wall)
 }
 
 fn stats_json(s: &SolveStats) -> String {
     format!(
         "{{\"rows\": {}, \"cols\": {}, \"nnz\": {}, \"iterations\": {}, \
-         \"restarts\": {}, \"backend\": \"{}\", \"warm\": \"{}\", \"seconds\": {:.6}}}",
+         \"restarts\": {}, \"refactors\": {}, \"backend\": \"{}\", \"warm\": \"{}\", \
+         \"seconds\": {:.6}}}",
         s.rows,
         s.cols,
         s.nnz,
         s.iterations,
         s.restarts,
+        s.refactors,
         s.backend.label(),
         s.warm.label(),
         s.solve_seconds
+    )
+}
+
+/// Process-wide solver counters from the `arrow-obs` registry (covers the
+/// offline stage and both sweeps). A new, purely additive field of
+/// `BENCH_online.json`.
+fn obs_json() -> String {
+    let snap = arrow_wan::obs::metrics::snapshot();
+    format!(
+        "{{\"lp_solves\": {}, \"warm_hit\": {}, \"warm_miss\": {}, \"warm_cold\": {}, \
+         \"simplex_iterations\": {}, \"simplex_refactors\": {}, \"epoch_cold\": {}, \
+         \"epoch_warm\": {}}}",
+        snap.counter("lp.solves"),
+        snap.counter("lp.warm.hit"),
+        snap.counter("lp.warm.miss"),
+        snap.counter("lp.warm.cold"),
+        snap.counter("lp.simplex.iterations"),
+        snap.counter("lp.simplex.refactors"),
+        snap.counter("epoch.cold"),
+        snap.counter("epoch.warm"),
     )
 }
 
@@ -113,6 +149,10 @@ fn main() {
 
     println!("== online-stage warm-vs-cold sweep: {} ==", wan.summary());
     let mut ctl = ArrowController::new(wan, scens, cfg);
+    // Subscribe after the offline stage so the ring holds only the online
+    // epoch spans each sweep produces.
+    let ring = Arc::new(RingSubscriber::new(4096));
+    arrow_wan::obs::trace::install(ring.clone());
     let z: usize = ctl
         .offline()
         .tickets
@@ -128,8 +168,9 @@ fn main() {
         DIURNAL.len()
     );
 
-    let (cold, cold_wall) = run_sweep(&mut ctl, &tm, false);
-    let (warm, warm_wall) = run_sweep(&mut ctl, &tm, true);
+    let (cold, cold_wall) = run_sweep(&mut ctl, &tm, false, &ring);
+    let (warm, warm_wall) = run_sweep(&mut ctl, &tm, true, &ring);
+    arrow_wan::obs::trace::uninstall();
 
     println!("interval | scale | cold s | warm s | warm p1/p2 | objective match");
     let mut objectives_match = true;
@@ -159,7 +200,7 @@ fn main() {
         "{{\n  \"topology\": \"B4\",\n  \"intervals\": {},\n  \"num_scenarios\": {},\n  \
          \"num_tickets\": {},\n  \"cold_wall_seconds\": {:.6},\n  \"warm_wall_seconds\": {:.6},\n  \
          \"speedup\": {:.4},\n  \"objectives_match\": {},\n  \"winning_identical\": {},\n  \
-         \"cold\": {},\n  \"warm\": {}\n}}\n",
+         \"obs\": {},\n  \"cold\": {},\n  \"warm\": {}\n}}\n",
         DIURNAL.len(),
         ctl.offline().scenarios.len(),
         z,
@@ -168,6 +209,7 @@ fn main() {
         speedup,
         objectives_match,
         winning_identical,
+        obs_json(),
         intervals_json(&cold),
         intervals_json(&warm)
     );

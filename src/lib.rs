@@ -17,6 +17,8 @@
 //! * [`te`] — TE schemes: ECMP, MaxFlow, FFC, TeaVaR, ARROW Phase I/II.
 //! * [`core`] — LotteryTickets (Algorithm 1), Theorem 3.1, the controller.
 //! * [`sim`] — event-driven restoration-latency simulator (the testbed).
+//! * [`obs`] — structured tracing + metrics registry every crate emits
+//!   into (see `examples/observe_pipeline.rs` for a full run report).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@
 
 pub use arrow_core as core;
 pub use arrow_lp as lp;
+pub use arrow_obs as obs;
 pub use arrow_optical as optical;
 pub use arrow_sim as sim;
 pub use arrow_te as te;
