@@ -238,12 +238,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (left, right) = (&$a, &$b);
-        $crate::prop_assert!(
-            *left != *right,
-            "assertion failed: `{:?}` != `{:?}`",
-            left,
-            right
-        );
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` != `{:?}`", left, right);
     }};
 }
 

@@ -242,11 +242,7 @@ impl<T: Serialize> Serialize for Vec<T> {
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_array()
-            .ok_or_else(|| DeError::bad_type("Vec"))?
-            .iter()
-            .map(T::from_value)
-            .collect()
+        v.as_array().ok_or_else(|| DeError::bad_type("Vec"))?.iter().map(T::from_value).collect()
     }
 }
 

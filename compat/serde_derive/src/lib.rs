@@ -184,9 +184,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let entries: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
             format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
         }
         Shape::Unit => "::serde::Value::Null".to_string(),
@@ -232,14 +231,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
-            format!(
-                "::std::result::Result::Ok({name} {{ {} }})",
-                inits.join(", ")
-            )
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
         }
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Shape::Tuple(n) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| {

@@ -8,7 +8,7 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, DeError, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Serialization/parse error (message + byte offset where relevant).
 #[derive(Debug, Clone)]
@@ -82,9 +82,11 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
-            write_value(o, x, indent, d)
-        }),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+                write_value(o, x, indent, d)
+            })
+        }
         Value::Object(pairs) => {
             write_seq(out, pairs.iter(), indent, depth, ('{', '}'), |o, (k, x), d| {
                 write_string(o, k);
@@ -167,10 +169,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -280,8 +279,8 @@ impl<'a> Parser<'a> {
                             self.pos += 4;
                             // Surrogate pairs are not produced by the
                             // writer; reject rather than mis-decode.
-                            let c = char::from_u32(hex)
-                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let c =
+                                char::from_u32(hex).ok_or_else(|| Error::new("bad \\u escape"))?;
                             s.push(c);
                         }
                         _ => return Err(Error::new("unknown escape")),

@@ -28,8 +28,8 @@ fn main() {
         println!("{:>8.2} {:>12.4} {:>16}", alpha, thr, nonnaive);
         values.push(thr);
     }
-    let spread = values.iter().fold(0.0f64, |a, &b| a.max(b))
-        - values.iter().fold(1.0f64, |a, &b| a.min(b));
+    let spread =
+        values.iter().fold(0.0f64, |a, &b| a.max(b)) - values.iter().fold(1.0f64, |a, &b| a.min(b));
     summary(
         "ablation_alpha",
         "α is a mild tuning knob (paper tries 0.2/0.1/0.05)",

@@ -43,10 +43,6 @@ fn main() {
     summary(
         "ablation_playback",
         "scheme ordering robust to playback semantics",
-        &format!(
-            "best scheme frozen: {}, re-spread: {}",
-            top(&order_frozen),
-            top(&order_respread)
-        ),
+        &format!("best scheme frozen: {}, re-spread: {}", top(&order_frozen), top(&order_respread)),
     );
 }

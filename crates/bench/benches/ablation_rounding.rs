@@ -55,18 +55,14 @@ fn main() {
                 );
             }
             let avail = availability(&inst, &out, &cfg);
-            println!(
-                "{:>6} {:>8} {:>10} {:>12.4} {:>14.4}",
-                delta, filter, total, thr, avail
-            );
+            println!("{:>6} {:>8} {:>10} {:>12.4} {:>14.4}", delta, filter, total, thr, avail);
             kept.push((delta, filter, avail));
         }
     }
     // The filter's value: unfiltered tickets may promise unrealizable
     // capacity, which playback punishes.
     let with = kept.iter().filter(|&&(_, f, _)| f).map(|&(_, _, a)| a).fold(0.0, f64::max);
-    let without =
-        kept.iter().filter(|&&(_, f, _)| !f).map(|&(_, _, a)| a).fold(0.0, f64::max);
+    let without = kept.iter().filter(|&&(_, f, _)| !f).map(|&(_, _, a)| a).fold(0.0, f64::max);
     summary(
         "ablation_rounding",
         "filter keeps tickets honest; δ trades exploration vs κ",

@@ -28,8 +28,7 @@ fn main() {
     let stats = |name: &str, wan: &arrow_topology::Wan| -> (f64, f64) {
         let ratios = all_single_cut_ratios(&wan.optical, &cfg);
         let full = ratios.iter().filter(|r| r.is_full()).count() as f64 / ratios.len() as f64;
-        let mean =
-            ratios.iter().map(|r| r.ratio()).sum::<f64>() / ratios.len() as f64;
+        let mean = ratios.iter().map(|r| r.ratio()).sum::<f64>() / ratios.len() as f64;
         println!(
             "{name}: mean restoration ratio {:.0}%, fully restorable fibers {:.0}%",
             mean * 100.0,

@@ -17,11 +17,8 @@ fn main() {
 
     // (a) repair-time CDF per cause.
     for cause in RootCause::ALL {
-        let hours: Vec<f64> = tickets
-            .iter()
-            .filter(|t| t.cause == cause)
-            .map(|t| t.repair_hours)
-            .collect();
+        let hours: Vec<f64> =
+            tickets.iter().filter(|t| t.cause == cause).map(|t| t.repair_hours).collect();
         print_cdf(&format!("repair hours [{}]", cause.label()), &hours, 10);
     }
 
@@ -32,21 +29,14 @@ fn main() {
         println!("  {:<12} {:>6.1}%", cause.label(), share * 100.0);
     }
 
-    let cut_hours: Vec<f64> = tickets
-        .iter()
-        .filter(|t| t.cause == RootCause::FiberCut)
-        .map(|t| t.repair_hours)
-        .collect();
+    let cut_hours: Vec<f64> =
+        tickets.iter().filter(|t| t.cause == RootCause::FiberCut).map(|t| t.repair_hours).collect();
     let mut sorted = cut_hours.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = sorted[sorted.len() / 2];
-    let over_day =
-        sorted.iter().filter(|&&h| h > 24.0).count() as f64 / sorted.len() as f64;
-    let cut_share = shares
-        .iter()
-        .find(|(c, _)| *c == RootCause::FiberCut)
-        .map(|&(_, s)| s)
-        .unwrap();
+    let over_day = sorted.iter().filter(|&&h| h > 24.0).count() as f64 / sorted.len() as f64;
+    let cut_share =
+        shares.iter().find(|(c, _)| *c == RootCause::FiberCut).map(|&(_, s)| s).unwrap();
     summary(
         "fig03",
         "cuts: median repair 9 h, 10% > 24 h, 67% of downtime",

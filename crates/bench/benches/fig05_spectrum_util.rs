@@ -9,18 +9,10 @@ use arrow_optical::SpectrumMask;
 use arrow_topology::facebook_like;
 
 fn main() {
-    banner(
-        "fig05",
-        "fiber spectrum utilization",
-        "Fig. 5a: 95% of fibers < 60% utilization",
-    );
+    banner("fig05", "fiber spectrum utilization", "Fig. 5a: 95% of fibers < 60% utilization");
     let wan = facebook_like(17);
-    let utils: Vec<f64> = wan
-        .optical
-        .fibers()
-        .iter()
-        .map(|f| f.spectrum.utilization() * 100.0)
-        .collect();
+    let utils: Vec<f64> =
+        wan.optical.fibers().iter().map(|f| f.spectrum.utilization() * 100.0).collect();
     print_cdf("spectrum utilization (%)", &utils, 10);
     let below60 = utils.iter().filter(|&&u| u < 60.0).count() as f64 / utils.len() as f64;
 

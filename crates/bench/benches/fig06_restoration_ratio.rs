@@ -28,15 +28,12 @@ fn main() {
     println!("\nrestoration ratio vs provisioned capacity:");
     println!("  {:>16} {:>10} {:>12}", "capacity bucket", "fibers", "mean ratio");
     for (lo, hi) in [(0.0, 1000.0), (1000.0, 3000.0), (3000.0, 6000.0), (6000.0, f64::INFINITY)] {
-        let bucket: Vec<&_> = ratios
-            .iter()
-            .filter(|r| r.provisioned_gbps >= lo && r.provisioned_gbps < hi)
-            .collect();
+        let bucket: Vec<&_> =
+            ratios.iter().filter(|r| r.provisioned_gbps >= lo && r.provisioned_gbps < hi).collect();
         if bucket.is_empty() {
             continue;
         }
-        let mean: f64 =
-            bucket.iter().map(|r| r.ratio()).sum::<f64>() / bucket.len() as f64;
+        let mean: f64 = bucket.iter().map(|r| r.ratio()).sum::<f64>() / bucket.len() as f64;
         let label = if hi.is_finite() {
             format!("{:.0}-{:.0} Gbps", lo, hi)
         } else {

@@ -26,42 +26,61 @@ fn main() {
     let f_by = net.add_fiber(b, y, 140.0).unwrap();
     let f_yc = net.add_fiber(y, c, 140.0).unwrap();
     let ip1 = net
-        .provision(Lightpath { src: b, dst: c, path: vec![f_bc], slots: (0..4).collect(), gbps_per_wavelength: 100.0 })
+        .provision(Lightpath {
+            src: b,
+            dst: c,
+            path: vec![f_bc],
+            slots: (0..4).collect(),
+            gbps_per_wavelength: 100.0,
+        })
         .unwrap();
     let ip2 = net
-        .provision(Lightpath { src: b, dst: c, path: vec![f_bc], slots: (4..12).collect(), gbps_per_wavelength: 100.0 })
+        .provision(Lightpath {
+            src: b,
+            dst: c,
+            path: vec![f_bc],
+            slots: (4..12).collect(),
+            gbps_per_wavelength: 100.0,
+        })
         .unwrap();
     for w in 3..16 {
         for (s, d, f) in [(b, x, f_bx), (x, c, f_xc)] {
-            net.provision(Lightpath { src: s, dst: d, path: vec![f], slots: vec![w], gbps_per_wavelength: 100.0 }).unwrap();
+            net.provision(Lightpath {
+                src: s,
+                dst: d,
+                path: vec![f],
+                slots: vec![w],
+                gbps_per_wavelength: 100.0,
+            })
+            .unwrap();
         }
     }
     for w in 2..16 {
         for (s, d, f) in [(b, y, f_by), (y, c, f_yc)] {
-            net.provision(Lightpath { src: s, dst: d, path: vec![f], slots: vec![w], gbps_per_wavelength: 100.0 }).unwrap();
+            net.provision(Lightpath {
+                src: s,
+                dst: d,
+                path: vec![f],
+                slots: vec![w],
+                gbps_per_wavelength: 100.0,
+            })
+            .unwrap();
         }
     }
 
     let rwa = RwaConfig::default();
     let relaxed = solve_relaxed(&net, &[f_bc], &rwa);
+    println!("optical layer: {:.1} of 12 lost wavelengths restorable\n", relaxed.total_wavelengths);
     println!(
-        "optical layer: {:.1} of 12 lost wavelengths restorable\n",
-        relaxed.total_wavelengths
+        "{:>10} {:>12} {:>12} {:>10} {:>12}",
+        "candidate", "IP1 (Gbps)", "IP2 (Gbps)", "feasible", "throughput"
     );
-    println!("{:>10} {:>12} {:>12} {:>10} {:>12}", "candidate", "IP1 (Gbps)", "IP2 (Gbps)", "feasible", "throughput");
     let demands = (100.0f64, 400.0f64);
     let mut best = (0, 0.0);
     for (i, &(w1, w2)) in [(2usize, 3usize), (1, 4), (3, 2)].iter().enumerate() {
         let feasible = is_feasible(&net, &[f_bc], &rwa, &[(ip1, w1), (ip2, w2)]);
         let thr = demands.0.min(w1 as f64 * 100.0) + demands.1.min(w2 as f64 * 100.0);
-        println!(
-            "{:>10} {:>12} {:>12} {:>10} {:>12.0}",
-            i + 1,
-            w1 * 100,
-            w2 * 100,
-            feasible,
-            thr
-        );
+        println!("{:>10} {:>12} {:>12} {:>10} {:>12.0}", i + 1, w1 * 100, w2 * 100, feasible, thr);
         if thr > best.1 {
             best = (i + 1, thr);
         }

@@ -41,12 +41,10 @@ fn main() {
             println!("(FFC-2 omitted on Facebook-like for bench runtime)");
         }
         // One job per (scheme, scale); availability averaged over TMs.
-        let jobs: Vec<(usize, f64)> = (0..schemes.len())
-            .flat_map(|i| scales.iter().map(move |&sc| (i, sc)))
-            .collect();
-        let results = parallel_map(jobs.clone(), |&(i, sc)| {
-            mean_availability(&s, schemes[i].as_ref(), sc)
-        });
+        let jobs: Vec<(usize, f64)> =
+            (0..schemes.len()).flat_map(|i| scales.iter().map(move |&sc| (i, sc))).collect();
+        let results =
+            parallel_map(jobs.clone(), |&(i, sc)| mean_availability(&s, schemes[i].as_ref(), sc));
         print!("{:<14}", "scheme\\scale");
         for sc in &scales {
             print!(" {:>9.2}", sc);
@@ -75,7 +73,8 @@ fn main() {
                 best_other_at_999 = best_other_at_999.max(max_ok);
             }
         }
-        let gain = if best_other_at_999 > 0.0 { arrow_at_999 / best_other_at_999 } else { f64::NAN };
+        let gain =
+            if best_other_at_999 > 0.0 { arrow_at_999 / best_other_at_999 } else { f64::NAN };
         println!("[{topo}] ARROW gain over best baseline @99.9%: {gain:.2}x");
         headline.push(format!("{topo} {gain:.2}x"));
     }

@@ -19,8 +19,7 @@ fn main() {
     let inst = s.instances[0].scaled(8.0);
     let counts = [1usize, 2, 4, 6, 8, 12, 16, 24, 32];
     // Two rounding seeds illustrate the fluctuation at small |Z|.
-    let jobs: Vec<(usize, u64)> =
-        counts.iter().flat_map(|&z| [(z, 41u64), (z, 43u64)]).collect();
+    let jobs: Vec<(usize, u64)> = counts.iter().flat_map(|&z| [(z, 41u64), (z, 43u64)]).collect();
     let results = parallel_map(jobs.clone(), |&(z, seed)| {
         let tickets = generate_tickets(
             &s.wan,
@@ -45,6 +44,11 @@ fn main() {
     summary(
         "fig14",
         "throughput rises with |Z| and plateaus; |Z|=1 is ARROW-Naive",
-        &format!("throughput {:.4} at |Z|=1 -> {:.4} at |Z|={}", first, last, counts.last().unwrap()),
+        &format!(
+            "throughput {:.4} at |Z|=1 -> {:.4} at |Z|={}",
+            first,
+            last,
+            counts.last().unwrap()
+        ),
     );
 }

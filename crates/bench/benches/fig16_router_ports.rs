@@ -35,10 +35,8 @@ fn main() {
             })
             .collect();
         let mf = MaxFlow::default().solve(&inst);
-        let fully_restorable = SchemeOutput {
-            alloc: mf.alloc.clone(),
-            restoration: Some(full_plan.clone()),
-        };
+        let fully_restorable =
+            SchemeOutput { alloc: mf.alloc.clone(), restoration: Some(full_plan.clone()) };
         let baseline = required_router_ports(&inst, &fully_restorable, beta, &cfg);
         println!("\n[{topo}] fully-restorable baseline CAP/AGT: {baseline:.0}");
         println!("{:<14} {:>14} {:>20}", "scheme", "ports (CAP/AGT)", "vs fully restorable");

@@ -25,10 +25,9 @@ fn main() {
         }
         let ratios: Vec<f64> = infl.iter().map(|p| p.ratio()).collect();
         print_cdf(&format!("R-path / P-path length ratio ({label})"), &ratios, 10);
-        let shorter =
-            ratios.iter().filter(|&&r| r <= 1.0).count() as f64 / ratios.len() as f64;
+        let shorter = ratios.iter().filter(|&&r| r <= 1.0).count() as f64 / ratios.len() as f64;
         let mut longest: Vec<f64> = infl.iter().map(|p| p.restoration_km).collect();
-        longest.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        longest.sort_by(|a, b| b.total_cmp(a));
         println!(
             "  {label}: {:.0}% of R-paths no longer than their P-path; top-10 longest R-paths (km): {:?}\n",
             shorter * 100.0,

@@ -29,7 +29,7 @@ fn main() {
     print_cdf("intermediate ROADMs per cut", &intermediate, 10);
     let p80 = |v: &[f64]| {
         let mut s = v.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(|a, b| a.total_cmp(b));
         s[((s.len() - 1) as f64 * 0.8) as usize]
     };
     summary(

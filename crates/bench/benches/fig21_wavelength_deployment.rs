@@ -21,6 +21,11 @@ fn main() {
     summary(
         "fig21",
         "deployments increase markedly after the surge month",
-        &format!("mean {:.0}/month before vs {:.0}/month after ({:.1}x)", before, after, after / before),
+        &format!(
+            "mean {:.0}/month before vs {:.0}/month after ({:.1}x)",
+            before,
+            after,
+            after / before
+        ),
     );
 }

@@ -12,11 +12,7 @@ fn main() {
         "{:<10} {:>16} {:>8} {:>9} {:>10}",
         "topology", "routers/ROADMs", "fibers", "IP links", "paper TMs"
     );
-    let rows = [
-        (facebook_like(17), 12),
-        (ibm(17), 30),
-        (b4(17), 30),
-    ];
+    let rows = [(facebook_like(17), 12), (ibm(17), 30), (b4(17), 30)];
     let mut measured = Vec::new();
     for (wan, tms) in &rows {
         println!(
@@ -38,9 +34,5 @@ fn main() {
         ));
         wan.validate().expect("cross-layer mapping must be consistent");
     }
-    summary(
-        "table04",
-        "FB 34/84/156/262; IBM 17/17/23/85; B4 12/12/19/52",
-        &measured.join("; "),
-    );
+    summary("table04", "FB 34/84/156/262; IBM 17/17/23/85; B4 12/12/19/52", &measured.join("; "));
 }

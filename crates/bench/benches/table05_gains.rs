@@ -20,24 +20,14 @@ fn main() {
     // availability grid is computed once per (scheme, scale) and reused
     // across targets.
     let targets = [0.99999, 0.9999, 0.999, 0.99];
-    println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>10}",
-        "scheme", "99.999%", "99.99%", "99.9%", "99%"
-    );
+    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "scheme", "99.999%", "99.99%", "99.9%", "99%");
     let mut per_scheme = Vec::new();
     for scheme in &all {
-        let grid: Vec<(f64, f64)> = scales
-            .iter()
-            .map(|&sc| (sc, mean_availability(&s, scheme.as_ref(), sc)))
-            .collect();
+        let grid: Vec<(f64, f64)> =
+            scales.iter().map(|&sc| (sc, mean_availability(&s, scheme.as_ref(), sc))).collect();
         let row: Vec<f64> = targets
             .iter()
-            .map(|&t| {
-                grid.iter()
-                    .filter(|&&(_, a)| a >= t)
-                    .map(|&(sc, _)| sc)
-                    .fold(0.0, f64::max)
-            })
+            .map(|&t| grid.iter().filter(|&&(_, a)| a >= t).map(|&(sc, _)| sc).fold(0.0, f64::max))
             .collect();
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",

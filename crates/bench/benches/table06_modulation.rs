@@ -13,11 +13,7 @@ fn main() {
     }
     println!("\nderived modulation decisions:");
     for km in [800.0, 1200.0, 2000.0, 4000.0, 5500.0] {
-        println!(
-            "  {:>6.0} km path -> max datarate {:?} Gbps",
-            km,
-            t.max_gbps_for_length(km)
-        );
+        println!("  {:>6.0} km path -> max datarate {:?} Gbps", km, t.max_gbps_for_length(km));
     }
     let ok = t.rows().len() == 4
         && t.max_gbps_for_length(1000.0) == Some(400.0)

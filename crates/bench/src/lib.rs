@@ -18,8 +18,7 @@ use arrow_te::{
     TeScheme, TeaVar, TicketSet, TunnelConfig,
 };
 use arrow_topology::{
-    b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig, TrafficConfig,
-    Wan,
+    b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig, TrafficConfig, Wan,
 };
 
 /// A topology-specific experiment setup sized for bench runtime.
@@ -106,7 +105,11 @@ impl SetupConfig {
 pub fn setup(wan: Wan, cfg: &SetupConfig) -> Setup {
     let failures = generate_failures(
         &wan,
-        &FailureConfig { cutoff: cfg.cutoff, max_scenarios: cfg.max_scenarios, ..Default::default() },
+        &FailureConfig {
+            cutoff: cfg.cutoff,
+            max_scenarios: cfg.max_scenarios,
+            ..Default::default()
+        },
     );
     let scenarios = failures.failure_scenarios().to_vec();
     let mut tms = gravity_matrices(
@@ -116,7 +119,7 @@ pub fn setup(wan: Wan, cfg: &SetupConfig) -> Setup {
     if cfg.top_flows > 0 {
         for tm in tms.iter_mut() {
             let mut flows = tm.flows();
-            flows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+            flows.sort_by(|a, b| b.2.total_cmp(&a.2));
             let mut trimmed = arrow_topology::TrafficMatrix::zeros(tm.num_sites());
             for &(s, d, g) in flows.iter().take(cfg.top_flows) {
                 trimmed.set_demand(s, d, g);
@@ -149,10 +152,8 @@ pub fn setup(wan: Wan, cfg: &SetupConfig) -> Setup {
     } else {
         0.5 * normalize_demand_scale(&base)
     };
-    let instances: Vec<TeInstance> = tms
-        .iter()
-        .map(|tm| base.with_demands(tm).scaled(norm))
-        .collect();
+    let instances: Vec<TeInstance> =
+        tms.iter().map(|tm| base.with_demands(tm).scaled(norm)).collect();
     let lottery = LotteryConfig { num_tickets: cfg.num_tickets, ..Default::default() };
     let tickets = generate_tickets(&wan, &scenarios, &lottery);
     let naive: Vec<RestorationTicket> =
@@ -184,11 +185,7 @@ pub fn schemes(s: &Setup) -> Vec<Box<dyn TeScheme + Send + Sync>> {
 
 /// Mean availability of a scheme across a setup's traffic matrices at a
 /// demand scale (the Fig. 13 measurement).
-pub fn mean_availability(
-    s: &Setup,
-    scheme: &(dyn TeScheme + Send + Sync),
-    scale: f64,
-) -> f64 {
+pub fn mean_availability(s: &Setup, scheme: &(dyn TeScheme + Send + Sync), scale: f64) -> f64 {
     let cfg = PlaybackConfig::default();
     let mut acc = 0.0;
     for inst in &s.instances {
@@ -237,7 +234,7 @@ pub fn summary(id: &str, paper: &str, measured: &str) {
 /// Formats an empirical CDF as evenly-spaced percentile rows.
 pub fn print_cdf(label: &str, values: &[f64], points: usize) {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     if sorted.is_empty() {
         println!("{label}: (no data)");
         return;

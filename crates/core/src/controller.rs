@@ -99,7 +99,10 @@ impl std::fmt::Display for PlanError {
                 write!(f, "scenario {scenario} has no LotteryTickets; Phase I needs at least one (the naive ticket) per scenario")
             }
             PlanError::ScenarioMismatch { expected, actual } => {
-                write!(f, "ticket set covers {actual} scenarios but the controller tracks {expected}")
+                write!(
+                    f,
+                    "ticket set covers {actual} scenarios but the controller tracks {expected}"
+                )
             }
             PlanError::MissingRestorationPlan => {
                 write!(f, "TE solve returned no restoration plan despite non-empty scenarios")
@@ -221,10 +224,10 @@ impl ArrowController {
     /// rather than panicking inside the TE scheme.
     pub fn plan(&self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
         let _span = arrow_obs::span!("epoch", "mode" => "cold");
+        // arrow-lint: allow(wall-clock-in-core) — measures epoch wall time for the metrics registry only; no solver decision reads it
         let t0 = std::time::Instant::now();
         self.validate_offline()?;
-        let instance =
-            build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
+        let instance = build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
         let outcome = self.arrow_scheme().solve_detailed(&instance);
         let plan = self.finish_plan(outcome, instance);
         epoch_metrics().record(false, t0.elapsed().as_secs_f64());
@@ -243,6 +246,7 @@ impl ArrowController {
     /// objective equal up to solver tolerance).
     pub fn plan_warm(&mut self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
         let _span = arrow_obs::span!("epoch", "mode" => "warm");
+        // arrow-lint: allow(wall-clock-in-core) — measures epoch wall time for the metrics registry only; no solver decision reads it
         let t0 = std::time::Instant::now();
         self.validate_offline()?;
         if self.online.is_none() {
@@ -272,8 +276,7 @@ impl ArrowController {
         if actual != expected {
             return Err(PlanError::ScenarioMismatch { expected, actual });
         }
-        if let Some(scenario) =
-            self.offline.tickets.per_scenario.iter().position(|t| t.is_empty())
+        if let Some(scenario) = self.offline.tickets.per_scenario.iter().position(|t| t.is_empty())
         {
             return Err(PlanError::NoTickets { scenario });
         }
@@ -359,17 +362,13 @@ mod tests {
         let wan = b4(17);
         let failures =
             generate_failures(&wan, &FailureConfig { max_scenarios: 5, ..Default::default() });
-        let tms =
-            gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
+        let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
         let cfg = ControllerConfig {
             lottery: LotteryConfig { num_tickets: 8, ..Default::default() },
             tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
             ..Default::default()
         };
-        (
-            ArrowController::new(wan, failures.failure_scenarios().to_vec(), cfg),
-            tms[0].clone(),
-        )
+        (ArrowController::new(wan, failures.failure_scenarios().to_vec(), cfg), tms[0].clone())
     }
 
     #[test]

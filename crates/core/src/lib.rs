@@ -33,4 +33,6 @@ pub use lottery::{
     FractionalRestoration, LotteryConfig, OfflineStats, ScenarioStats,
 };
 pub use par::{default_threads, parallel_map, parallel_map_with};
-pub use theorem::{kappa, optimality_probability, tickets_for_target, LinkRounding, RoundDirection};
+pub use theorem::{
+    kappa, optimality_probability, tickets_for_target, LinkRounding, RoundDirection,
+};

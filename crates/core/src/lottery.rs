@@ -93,7 +93,11 @@ pub struct FractionalRestoration {
 
 /// Solves the RWA relaxation for one scenario and maps the result onto IP
 /// links. Links whose lightpath has no surrogate path get `λ_e = 0`.
-pub fn fractional_seed(wan: &Wan, scenario: &FailureScenario, rwa: &RwaConfig) -> Vec<FractionalRestoration> {
+pub fn fractional_seed(
+    wan: &Wan,
+    scenario: &FailureScenario,
+    rwa: &RwaConfig,
+) -> Vec<FractionalRestoration> {
     let sol = solve_relaxed(&wan.optical, &scenario.cut_fibers, rwa);
     sol.links
         .iter()
@@ -307,6 +311,7 @@ fn scenario_tickets(
         "scenario" => index,
         "cut_fibers" => scen.cut_fibers.len(),
     );
+    // arrow-lint: allow(wall-clock-in-core) — RWA timing feeds ScenarioStats reporting; ticket contents never depend on it
     let t_start = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, index as u64));
     let seed = fractional_seed(wan, scen, &cfg.rwa);
@@ -329,11 +334,8 @@ fn scenario_tickets(
         stats.rounds += 1;
         let counts = round_once(&mut rng, &seed, cfg.delta);
         if cfg.feasibility_filter {
-            let targets: Vec<_> = seed
-                .iter()
-                .zip(&counts)
-                .map(|(f, &c)| (wan.link(f.link).lightpath, c))
-                .collect();
+            let targets: Vec<_> =
+                seed.iter().zip(&counts).map(|(f, &c)| (wan.link(f.link).lightpath, c)).collect();
             if !is_feasible(&wan.optical, &scen.cut_fibers, &cfg.rwa, &targets) {
                 stats.infeasible += 1;
                 continue;
@@ -444,6 +446,7 @@ pub fn generate_tickets_with_threads(
         "threads" => threads,
         "num_tickets" => cfg.num_tickets,
     );
+    // arrow-lint: allow(wall-clock-in-core) — offline-stage wall time feeds OfflineStats reporting; ticket contents never depend on it
     let t0 = std::time::Instant::now();
     let indices: Vec<usize> = (0..scenarios.len()).collect();
     let results = crate::par::parallel_map_with(threads, indices, |&i| {
@@ -517,10 +520,7 @@ mod tests {
                 for &(link, gbps) in &t.restored {
                     assert!(scen.failed_links.contains(&link), "ticket names a healthy link");
                     let cap = wan.link(link).capacity_gbps;
-                    assert!(
-                        gbps <= cap + 1e-6,
-                        "restored {gbps} exceeds lost capacity {cap}"
-                    );
+                    assert!(gbps <= cap + 1e-6, "restored {gbps} exceeds lost capacity {cap}");
                     assert!(gbps >= 0.0);
                 }
             }
@@ -530,7 +530,8 @@ mod tests {
     #[test]
     fn rounding_explores_distinct_candidates() {
         let (wan, scens) = setup();
-        let cfg = LotteryConfig { num_tickets: 40, feasibility_filter: false, ..Default::default() };
+        let cfg =
+            LotteryConfig { num_tickets: 40, feasibility_filter: false, ..Default::default() };
         let set = generate_tickets(&wan, &scens, &cfg);
         // At least one scenario with a fractional/partial seed should
         // produce several distinct tickets.
@@ -551,8 +552,7 @@ mod tests {
                     .iter()
                     .map(|&(l, g)| {
                         let lp = wan.link(l).lightpath;
-                        let gbps_per_wl =
-                            wan.optical.lightpath(lp).gbps_per_wavelength;
+                        let gbps_per_wl = wan.optical.lightpath(lp).gbps_per_wavelength;
                         (lp, (g / gbps_per_wl).round() as usize)
                     })
                     .collect();
@@ -600,11 +600,7 @@ mod tests {
         let scen = &scens[0];
         let greedy_total = naive_ticket(&wan, scen, &cfg.rwa).total_gbps();
         let over = arrow_te::RestorationTicket {
-            restored: scen
-                .failed_links
-                .iter()
-                .map(|&l| (l, wan.link(l).capacity_gbps))
-                .collect(),
+            restored: scen.failed_links.iter().map(|&l| (l, wan.link(l).capacity_gbps)).collect(),
         };
         let realized = realize_ticket(&wan, scen, &over, &cfg.rwa);
         assert!(realized.total_gbps() <= over.total_gbps() + 1e-9);

@@ -114,9 +114,7 @@ where
         for (i, r) in rx {
             out[i] = Some(r);
         }
-        out.into_iter()
-            .map(|r| r.expect("every index produced exactly one result"))
-            .collect()
+        out.into_iter().map(|r| r.expect("every index produced exactly one result")).collect()
     })
 }
 
@@ -171,11 +169,8 @@ mod tests {
         arrow_obs::trace::uninstall();
         let after = arrow_obs::metrics::snapshot().counter("par.threads.invalid");
         assert_eq!(after - before, 5, "each malformed value counted");
-        let warnings: Vec<_> = ring
-            .records()
-            .into_iter()
-            .filter(|r| r.name == "par.threads.invalid")
-            .collect();
+        let warnings: Vec<_> =
+            ring.records().into_iter().filter(|r| r.name == "par.threads.invalid").collect();
         assert_eq!(warnings.len(), 5);
         assert!(warnings.iter().all(|w| w.level == arrow_obs::Level::Warn));
         assert_eq!(

@@ -14,8 +14,7 @@ use arrow_topology::{b4, generate_failures, ibm, FailureConfig, FailureScenario,
 
 fn setup(max_scenarios: usize) -> (Wan, Vec<FailureScenario>) {
     let wan = b4(17);
-    let failures =
-        generate_failures(&wan, &FailureConfig { max_scenarios, ..Default::default() });
+    let failures = generate_failures(&wan, &FailureConfig { max_scenarios, ..Default::default() });
     (wan, failures.failure_scenarios().to_vec())
 }
 
@@ -88,6 +87,42 @@ fn derived_seeds_are_distinct_per_scenario() {
         assert!(seen.insert(derive_seed(41, idx)), "seed collision at scenario {idx}");
     }
     assert_ne!(derive_seed(41, 0), derive_seed(42, 0));
+}
+
+#[test]
+fn relaxed_rwa_is_stable_across_runs_and_threads() {
+    // The relaxed RWA feeds ticket generation; its LP rows must be emitted
+    // in a fixed order (BTreeMap, not HashMap) or solutions drift between
+    // processes. `Debug` for f64 round-trips, so equal renderings mean
+    // bitwise-equal solutions.
+    use arrow_optical::rwa::{solve_relaxed, RwaConfig};
+    use arrow_optical::FiberId;
+    let wan = ibm(17);
+    let cfg = RwaConfig::default();
+    let cuts: Vec<FiberId> = (0..wan.optical.num_fibers().min(6)).map(FiberId).collect();
+    let reference: Vec<String> =
+        cuts.iter().map(|&f| format!("{:?}", solve_relaxed(&wan.optical, &[f], &cfg))).collect();
+    // Repeated in-process runs.
+    for (i, &f) in cuts.iter().enumerate() {
+        assert_eq!(
+            format!("{:?}", solve_relaxed(&wan.optical, &[f], &cfg)),
+            reference[i],
+            "RWA solution drifted on repeat for fiber {f:?}"
+        );
+    }
+    // Concurrent runs on fresh threads (a thread-seeded hash order would
+    // diverge here even when repeats in one thread agree).
+    let handles: Vec<_> = cuts
+        .iter()
+        .map(|&f| {
+            let net = wan.optical.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || format!("{:?}", solve_relaxed(&net, &[f], &cfg)))
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), reference[i], "RWA solution diverged across threads");
+    }
 }
 
 #[test]

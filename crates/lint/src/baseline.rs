@@ -1,0 +1,100 @@
+//! The baseline ratchet.
+//!
+//! `lint-baseline.tsv` (checked in at the workspace root) records the
+//! accepted debt as `rule<TAB>path<TAB>count` lines. `--check` fails when
+//! a `(rule, file)` pair exceeds its baselined count (debt never grows)
+//! *and* when it undershoots it (fixing a violation must shrink the
+//! baseline in the same commit, so the ratchet only ever tightens).
+//! `--update-baseline` rewrites the file from the current tree.
+
+use std::collections::BTreeMap;
+
+/// Accepted violation counts keyed by `(rule, path)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// `(rule, workspace-relative path) -> accepted count`.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the TSV format; `#` starts a comment line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (rule, path, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(c)) => (r, p, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>count",
+                        n + 1
+                    ))
+                }
+            };
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", n + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes back to the TSV format (sorted, hence diff-stable).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# arrow-lint accepted debt: rule<TAB>path<TAB>count\n\
+             # Ratchet: counts may only go down. Regenerate with\n\
+             #   cargo run -p arrow-lint -- --update-baseline\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Builds a baseline from current per-`(rule, path)` counts.
+    pub fn from_counts(counts: &BTreeMap<(String, String), usize>) -> Baseline {
+        Baseline {
+            entries: counts.iter().filter(|(_, &c)| c > 0).map(|(k, &c)| (k.clone(), c)).collect(),
+        }
+    }
+}
+
+/// Outcome of comparing the current tree against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// `(rule, path, current, baselined)` where current > baselined.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(rule, path, current, baselined)` where current < baselined.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// Whether the tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares current counts to the baseline.
+pub fn compare(baseline: &Baseline, counts: &BTreeMap<(String, String), usize>) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    let mut keys: Vec<&(String, String)> = counts.keys().chain(baseline.entries.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let cur = counts.get(key).copied().unwrap_or(0);
+        let base = baseline.entries.get(key).copied().unwrap_or(0);
+        if cur > base {
+            report.regressions.push((key.0.clone(), key.1.clone(), cur, base));
+        } else if cur < base {
+            report.stale.push((key.0.clone(), key.1.clone(), cur, base));
+        }
+    }
+    report
+}

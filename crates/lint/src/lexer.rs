@@ -1,0 +1,425 @@
+//! A hand-written Rust lexer — just enough structure for token-level
+//! linting without false positives.
+//!
+//! The rules only need identifiers, punctuation and comment text, but to
+//! report *zero* false positives the lexer must get the hard parts of
+//! Rust's lexical grammar right: raw strings (`r#".."#` with any hash
+//! depth), byte/C strings, nested block comments (`/* /* */ */`), raw
+//! identifiers (`r#fn`), and the `'a` lifetime vs `'a'` char-literal
+//! ambiguity. Everything inside a string or comment is opaque to the
+//! rules; comments are kept as tokens so the pragma scanner can read
+//! them.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, …
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation byte (`.`, `(`, `!`, …).
+    Punct,
+    /// A line or block comment; `text` is the body without delimiters.
+    Comment,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included per class).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, k: usize) -> u8 {
+        self.b.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.b[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    /// Consumes an identifier run and returns its text.
+    fn ident(&mut self) -> String {
+        let start = self.i;
+        while !self.at_end() && is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.b[start..self.i]).into_owned()
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed) honouring
+    /// backslash escapes.
+    fn quoted_string(&mut self) {
+        while !self.at_end() {
+            match self.bump() {
+                b'\\' if !self.at_end() => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after the `r`/`br`/`cr` prefix: zero or
+    /// more `#`, a `"`, then anything until `"` followed by the same
+    /// number of `#`. Returns `false` when this is not actually a raw
+    /// string (i.e. a raw identifier like `r#fn`).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(hashes) != b'"' {
+            return false; // raw identifier, e.g. r#fn
+        }
+        for _ in 0..=hashes {
+            self.bump(); // the #s and the opening quote
+        }
+        while !self.at_end() {
+            if self.bump() == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consumes a numeric literal (integers, floats, exponents, radix
+    /// prefixes, underscores, suffixes like `f64`).
+    fn number(&mut self) {
+        while !self.at_end() && is_ident_continue(self.peek(0)) {
+            let c = self.bump();
+            // `1e-3` / `1E+9`: the sign belongs to the literal.
+            if (c == b'e' || c == b'E')
+                && (self.peek(0) == b'+' || self.peek(0) == b'-')
+                && self.peek(1).is_ascii_digit()
+            {
+                self.bump();
+            }
+        }
+        // A fractional part only if `.` is followed by a digit — `1.max()`
+        // style method calls keep the dot as punctuation.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            self.number();
+        }
+    }
+}
+
+/// Lexes `src` into a token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { b: src.as_bytes(), i: 0, line: 1, col: 1 };
+    let mut toks: Vec<Token> = Vec::new();
+    while !lx.at_end() {
+        let c = lx.peek(0);
+        if c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        // Line comment (//, ///, //!).
+        if c == b'/' && lx.peek(1) == b'/' {
+            lx.bump();
+            lx.bump();
+            let start = lx.i;
+            while !lx.at_end() && lx.peek(0) != b'\n' {
+                lx.bump();
+            }
+            let text = String::from_utf8_lossy(&lx.b[start..lx.i]).into_owned();
+            toks.push(Token { kind: TokKind::Comment, text, line, col });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && lx.peek(1) == b'*' {
+            lx.bump();
+            lx.bump();
+            let start = lx.i;
+            let mut depth = 1usize;
+            let mut end = lx.i;
+            while !lx.at_end() && depth > 0 {
+                if lx.peek(0) == b'/' && lx.peek(1) == b'*' {
+                    lx.bump();
+                    lx.bump();
+                    depth += 1;
+                } else if lx.peek(0) == b'*' && lx.peek(1) == b'/' {
+                    depth -= 1;
+                    end = lx.i;
+                    lx.bump();
+                    lx.bump();
+                } else {
+                    lx.bump();
+                }
+            }
+            let text = String::from_utf8_lossy(&lx.b[start..end.max(start)]).into_owned();
+            toks.push(Token { kind: TokKind::Comment, text, line, col });
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            lx.bump();
+            lx.quoted_string();
+            toks.push(Token { kind: TokKind::Str, text: String::new(), line, col });
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == b'\'' {
+            if lx.peek(1) == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{1F600}'.
+                lx.bump();
+                while !lx.at_end() {
+                    match lx.bump() {
+                        b'\\' if !lx.at_end() => {
+                            lx.bump();
+                        }
+                        b'\'' => break,
+                        _ => {}
+                    }
+                }
+                toks.push(Token { kind: TokKind::Char, text: String::new(), line, col });
+            } else if lx.peek(2) == b'\'' && lx.peek(1) != b'\'' {
+                // 'x' — a one-byte char literal ('a' beats lifetime 'a).
+                lx.bump();
+                lx.bump();
+                lx.bump();
+                toks.push(Token { kind: TokKind::Char, text: String::new(), line, col });
+            } else if is_ident_start(lx.peek(1)) {
+                // 'a, 'static — a lifetime, not an unterminated char.
+                lx.bump();
+                let name = lx.ident();
+                toks.push(Token { kind: TokKind::Lifetime, text: name, line, col });
+            } else {
+                // Multi-byte char literal like 'é', or stray quote.
+                lx.bump();
+                let mut consumed = 0;
+                while !lx.at_end() && consumed < 6 && lx.peek(0) != b'\'' {
+                    lx.bump();
+                    consumed += 1;
+                }
+                if lx.peek(0) == b'\'' {
+                    lx.bump();
+                }
+                toks.push(Token { kind: TokKind::Char, text: String::new(), line, col });
+            }
+            continue;
+        }
+        // Identifier, keyword, or a string-literal prefix (r"", b"", …).
+        if is_ident_start(c) {
+            let word = lx.ident();
+            let raw_prefix = matches!(word.as_str(), "r" | "br" | "cr");
+            let byte_prefix = matches!(word.as_str(), "b" | "c");
+            if raw_prefix && (lx.peek(0) == b'"' || lx.peek(0) == b'#') {
+                if lx.raw_string() {
+                    toks.push(Token { kind: TokKind::Str, text: String::new(), line, col });
+                } else {
+                    // `r#ident` — a raw identifier.
+                    lx.bump(); // '#'
+                    let name = lx.ident();
+                    toks.push(Token { kind: TokKind::Ident, text: name, line, col });
+                }
+                continue;
+            }
+            if byte_prefix && lx.peek(0) == b'"' {
+                lx.bump();
+                lx.quoted_string();
+                toks.push(Token { kind: TokKind::Str, text: String::new(), line, col });
+                continue;
+            }
+            if word == "b" && lx.peek(0) == b'\'' {
+                // Byte literal b'x' / b'\n'.
+                lx.bump();
+                while !lx.at_end() {
+                    match lx.bump() {
+                        b'\\' if !lx.at_end() => {
+                            lx.bump();
+                        }
+                        b'\'' => break,
+                        _ => {}
+                    }
+                }
+                toks.push(Token { kind: TokKind::Char, text: String::new(), line, col });
+                continue;
+            }
+            toks.push(Token { kind: TokKind::Ident, text: word, line, col });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lx.number();
+            toks.push(Token { kind: TokKind::Num, text: String::new(), line, col });
+            continue;
+        }
+        // Anything else (including non-ASCII bytes outside strings) is a
+        // single punctuation byte.
+        lx.bump();
+        toks.push(Token { kind: TokKind::Punct, text: (c as char).to_string(), line, col });
+    }
+    toks
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// The scan finds the attribute, skips any further attributes, then
+/// extends the range to the end of the annotated item: the matching `}` of
+/// its first brace block, or the first top-level `;` for bodyless items.
+pub fn test_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute `#[ … ]` and classify it.
+        let attr_start_line = code[i].line;
+        let mut j = i + 2;
+        let mut depth = 1usize; // inside [ ]
+        let mut is_test_attr = false;
+        if j < code.len() && (code[j].is_ident("test") || code[j].is_ident("cfg")) {
+            let head_is_cfg = code[j].is_ident("cfg");
+            if code[j].is_ident("test") && j + 1 < code.len() && code[j + 1].is_punct(']') {
+                is_test_attr = true;
+            }
+            if head_is_cfg {
+                // #[cfg(test)] or #[cfg(all(test, …))] — any `test` ident
+                // inside the cfg predicate counts.
+                let mut k = j + 1;
+                let mut d = 1usize;
+                while k < code.len() && d > 0 {
+                    if code[k].is_punct('[') {
+                        d += 1;
+                    } else if code[k].is_punct(']') {
+                        d -= 1;
+                    } else if code[k].is_ident("test") {
+                        is_test_attr = true;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // Advance j to just past this attribute's closing ]
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j + 1 < code.len() && code[j].is_punct('#') && code[j + 1].is_punct('[') {
+            let mut d = 0usize;
+            j += 1;
+            loop {
+                if j >= code.len() {
+                    break;
+                }
+                if code[j].is_punct('[') {
+                    d += 1;
+                } else if code[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Extend to the end of the item.
+        let mut end_line = attr_start_line;
+        while j < code.len() {
+            if code[j].is_punct(';') {
+                end_line = code[j].line;
+                j += 1;
+                break;
+            }
+            if code[j].is_punct('{') {
+                let mut d = 1usize;
+                j += 1;
+                while j < code.len() && d > 0 {
+                    if code[j].is_punct('{') {
+                        d += 1;
+                    } else if code[j].is_punct('}') {
+                        d -= 1;
+                    }
+                    end_line = code[j].line;
+                    j += 1;
+                }
+                break;
+            }
+            end_line = code[j].line;
+            j += 1;
+        }
+        ranges.push((attr_start_line, end_line));
+        i = j;
+    }
+    ranges
+}

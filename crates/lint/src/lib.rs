@@ -1,0 +1,33 @@
+//! `arrow-lint` — project-specific static analysis for the ARROW
+//! workspace.
+//!
+//! A std-only, dependency-free lexer + rule registry that mechanizes the
+//! invariants this codebase's correctness story rests on (each learned
+//! from a real incident — see DESIGN.md "Static analysis"):
+//!
+//! 1. **nondeterministic-iteration** — no `HashMap`/`HashSet` in crates
+//!    that feed LP row construction or ticket generation.
+//! 2. **float-partial-order** — no `.partial_cmp()` on floats; use
+//!    `total_cmp`.
+//! 3. **panic-on-input-path** — no `unwrap`/`expect`/`panic!` family in
+//!    library code (existing debt is baselined and ratchets down).
+//! 4. **wall-clock-in-core** — no `Instant`/`SystemTime` outside `obs`
+//!    and `bench`.
+//!
+//! Suppression: `// arrow-lint: allow(rule) — justification` (the
+//! justification is mandatory; the linter rejects bare allows).
+
+pub mod baseline;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{compare, Baseline, RatchetReport};
+pub use rules::{check_file, classify, FileInput, FileKind, Violation, RULES};
+
+/// Convenience for tests: lint a source string under a given path.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let (crate_name, kind) = classify(rel_path);
+    check_file(&FileInput { rel_path, crate_name: &crate_name, kind, src })
+}

@@ -1,0 +1,87 @@
+//! Suppression pragmas.
+//!
+//! Syntax (one rule per pragma, justification mandatory):
+//!
+//! ```text
+//! // arrow-lint: allow(rule-name) — why this site is safe
+//! ```
+//!
+//! The separator may be an em-dash (`—`), `--`, or `:`. A pragma written
+//! on its own line covers the next line that contains code; a trailing
+//! pragma covers its own line. A pragma with an unknown rule name or a
+//! missing/empty justification is itself a violation (`bad-pragma`) and
+//! cannot be suppressed.
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::{Violation, RULES};
+
+/// A parsed, valid suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule this pragma silences.
+    pub rule: String,
+    /// First covered line (inclusive).
+    pub from_line: u32,
+    /// Last covered line (inclusive).
+    pub to_line: u32,
+}
+
+/// Scans comment tokens for pragmas. Returns the valid pragmas plus
+/// `bad-pragma` violations for malformed ones. `code` is the token stream
+/// with comments stripped (used to find the line a pragma covers).
+pub fn collect_pragmas(toks: &[Token], code: &[&Token]) -> (Vec<Pragma>, Vec<Violation>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let body = t.text.trim().trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("arrow-lint:") else { continue };
+        match parse_allow(rest.trim()) {
+            Ok(rule) => {
+                let has_code_before =
+                    code.iter().any(|c| c.line == t.line && (c.line, c.col) < (t.line, t.col));
+                let (from, to) = if has_code_before {
+                    (t.line, t.line)
+                } else {
+                    // Own-line pragma: cover the next line holding code.
+                    let next = code.iter().map(|c| c.line).find(|&l| l > t.line).unwrap_or(t.line);
+                    (next, next)
+                };
+                pragmas.push(Pragma { rule, from_line: from, to_line: to });
+            }
+            Err(msg) => bad.push(Violation { rule: "bad-pragma", line: t.line, col: t.col, msg }),
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Parses `allow(rule) <sep> justification`; returns the rule name.
+fn parse_allow(s: &str) -> Result<String, String> {
+    let Some(rest) = s.strip_prefix("allow(") else {
+        return Err(format!("unrecognized arrow-lint pragma `{s}`; expected `allow(rule) — why`"));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unterminated `allow(` in arrow-lint pragma".into());
+    };
+    let rule = rest[..close].trim();
+    if !RULES.iter().any(|(name, _)| *name == rule) {
+        let known: Vec<&str> = RULES.iter().map(|(n, _)| *n).collect();
+        return Err(format!("unknown rule `{rule}` in pragma; known rules: {}", known.join(", ")));
+    }
+    let after = rest[close + 1..].trim_start();
+    let justification = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix(':'))
+        .map(str::trim)
+        .unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "pragma allow({rule}) lacks a justification; write \
+             `arrow-lint: allow({rule}) — <why this site is safe>`"
+        ));
+    }
+    Ok(rule.to_string())
+}

@@ -11,7 +11,7 @@
 
 use crate::model::Model;
 use crate::simplex::{self, SimplexConfig};
-use crate::solution::{SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
 
 /// Tunable knobs for branch & bound.
 #[derive(Debug, Clone)]
@@ -28,7 +28,12 @@ pub struct MilpConfig {
 
 impl Default for MilpConfig {
     fn default() -> Self {
-        MilpConfig { int_tol: 1e-6, gap_tol: 1e-9, max_nodes: 100_000, lp: SimplexConfig::default() }
+        MilpConfig {
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+            max_nodes: 100_000,
+            lp: SimplexConfig::default(),
+        }
     }
 }
 
@@ -47,9 +52,8 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Solution {
     if model.num_int_vars() == 0 {
         return simplex::solve(&model.to_standard(), &cfg.lp);
     }
-    let int_vars: Vec<usize> = (0..model.num_vars())
-        .filter(|&j| model.is_integer(crate::model::VarId(j)))
-        .collect();
+    let int_vars: Vec<usize> =
+        (0..model.num_vars()).filter(|&j| model.is_integer(crate::model::VarId(j))).collect();
 
     // Best-first queue ordered by relaxation bound (minimization).
     let mut queue: Vec<Node> = vec![Node { bounds: Vec::new(), bound: f64::NEG_INFINITY }];
@@ -62,7 +66,9 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Solution {
     while let Some(pos) = queue
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.bound.partial_cmp(&b.1.bound).unwrap())
+        // total_cmp: a NaN node bound (pathological user objective) must
+        // not panic the search; NaN orders after every real bound.
+        .min_by(|a, b| a.1.bound.total_cmp(&b.1.bound))
         .map(|(i, _)| i)
     {
         let node = queue.swap_remove(pos);
@@ -95,7 +101,8 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Solution {
             Status::Unbounded => {
                 // An unbounded relaxation at the root means the MILP itself
                 // is unbounded (or ill-posed); deeper nodes only restrict.
-                let mut out = Solution::failed(Status::Unbounded, model.num_vars(), model.num_cons());
+                let mut out =
+                    Solution::failed(Status::Unbounded, model.num_vars(), model.num_cons());
                 out.stats.nodes = nodes;
                 return out;
             }
@@ -181,10 +188,7 @@ mod tests {
         let b = m.add_binary("b");
         let c = m.add_binary("c");
         m.add_con(LinExpr::sum_vars([a, b, c]), Sense::Le, 2.0, "pick2");
-        m.set_objective(
-            LinExpr::new().add(a, 10.0).add(b, 6.0).add(c, 4.0),
-            Objective::Maximize,
-        );
+        m.set_objective(LinExpr::new().add(a, 10.0).add(b, 6.0).add(c, 4.0), Objective::Maximize);
         let s = solve(&m, &MilpConfig::default());
         assert_eq!(s.status, Status::Optimal);
         assert!((s.objective - 16.0).abs() < 1e-6);

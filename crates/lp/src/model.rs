@@ -191,7 +191,13 @@ impl Model {
     /// Posts the constraint `expr (sense) rhs`.
     ///
     /// Any constant inside `expr` is folded into the right-hand side.
-    pub fn add_con(&mut self, expr: LinExpr, sense: Sense, rhs: f64, name: impl Into<String>) -> ConId {
+    pub fn add_con(
+        &mut self,
+        expr: LinExpr,
+        sense: Sense,
+        rhs: f64,
+        name: impl Into<String>,
+    ) -> ConId {
         let id = ConId(self.cons.len());
         self.cons.push(ConDef {
             rhs: rhs - expr.constant,

@@ -16,7 +16,7 @@
 //! backend when certified infeasibility detection matters.
 
 use crate::model::{Sense, StandardLp};
-use crate::solution::{SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::CsrMatrix;
 use crate::warm::{BackendKind, PrimalDual, WarmEvent};
 
@@ -162,11 +162,7 @@ fn kkt_residuals(s: &Scaled, x: &[f64], y: &[f64], kx: &mut [f64], kty: &mut [f6
     }
     let primal_obj: f64 = s.c.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
     let gap = (primal_obj - dual_obj).abs() / (1.0 + primal_obj.abs() + dual_obj.abs());
-    Residuals {
-        rel_primal: pr / (1.0 + qn),
-        rel_dual: dr / (1.0 + cn),
-        rel_gap: gap,
-    }
+    Residuals { rel_primal: pr / (1.0 + qn), rel_dual: dr / (1.0 + cn), rel_gap: gap }
 }
 
 /// Solves a standard-form LP with restarted, averaged PDHG.
@@ -183,6 +179,7 @@ pub fn solve(lp: &StandardLp, cfg: &PdhgConfig) -> Solution {
 /// iteration count. A point of the wrong dimension is recorded as a
 /// [`WarmEvent::Miss`] and the solve starts cold.
 pub fn solve_warm(lp: &StandardLp, cfg: &PdhgConfig, start_point: Option<&PrimalDual>) -> Solution {
+    // arrow-lint: allow(wall-clock-in-core) — solve wall time reported in SolveStats; iteration counts, not time, bound the solve
     let start = std::time::Instant::now();
     let n = lp.num_vars();
     let m = lp.num_cons();
@@ -293,11 +290,8 @@ pub fn solve_warm(lp: &StandardLp, cfg: &PdhgConfig, start_point: Option<&Primal
         // Convergence and restart logic: evaluate both candidates.
         let res_cur = kkt_residuals(&s, &x, &y, &mut kx, &mut kty);
         let res_avg = kkt_residuals(&s, &x_avg, &y_avg, &mut kx, &mut kty);
-        let (use_avg, res) = if res_avg.worst() < res_cur.worst() {
-            (true, res_avg)
-        } else {
-            (false, res_cur)
-        };
+        let (use_avg, res) =
+            if res_avg.worst() < res_cur.worst() { (true, res_avg) } else { (false, res_cur) };
         if res.worst() < cfg.tol {
             if use_avg {
                 x.copy_from_slice(&x_avg);
@@ -346,11 +340,9 @@ pub fn solve_warm(lp: &StandardLp, cfg: &PdhgConfig, start_point: Option<&Primal
 
     // Map back to user space.
     let x_user: Vec<f64> = (0..n).map(|j| x[j] * s.col_scale[j]).collect();
-    let min_obj: f64 =
-        lp.obj_offset + x_user.iter().zip(&lp.obj).map(|(a, b)| a * b).sum::<f64>();
-    let duals: Vec<f64> = (0..m)
-        .map(|i| lp.obj_sign * s.row_sign[i] * y[i] * s.row_scale[i])
-        .collect();
+    let min_obj: f64 = lp.obj_offset + x_user.iter().zip(&lp.obj).map(|(a, b)| a * b).sum::<f64>();
+    let duals: Vec<f64> =
+        (0..m).map(|i| lp.obj_sign * s.row_sign[i] * y[i] * s.row_scale[i]).collect();
     Solution {
         status,
         objective: lp.user_objective(min_obj),
@@ -469,12 +461,7 @@ mod tests {
         // Two shared capacity rows.
         m.add_con(LinExpr::sum_vars(vars[0..3].iter().copied()), Sense::Le, 12.0, "cap1");
         m.add_con(LinExpr::sum_vars(vars[3..6].iter().copied()), Sense::Le, 7.0, "cap2");
-        m.add_con(
-            LinExpr::new().add(vars[0], 1.0).add(vars[3], 1.0),
-            Sense::Le,
-            8.0,
-            "cap3",
-        );
+        m.add_con(LinExpr::new().add(vars[0], 1.0).add(vars[3], 1.0), Sense::Le, 8.0, "cap3");
         m.set_objective(LinExpr::sum_vars(vars.iter().copied()), Objective::Maximize);
         let simplex = crate::simplex::solve(&m.to_standard(), &Default::default());
         let pdhg = solve_model(&m);

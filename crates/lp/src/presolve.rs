@@ -218,13 +218,7 @@ pub fn presolve(lp: &StandardLp) -> PresolveResult {
         obj_offset,
         obj_sign: lp.obj_sign,
     };
-    let reduced = Reduced {
-        lp: reduced_lp,
-        assignment,
-        kept_rows,
-        orig_vars: n,
-        orig_rows: m,
-    };
+    let reduced = Reduced { lp: reduced_lp, assignment, kept_rows, orig_vars: n, orig_rows: m };
     if reduced.lp.num_vars() == 0 {
         // Fully solved by presolve.
         let sol = reduced.expand(&Solution {
@@ -285,7 +279,9 @@ mod tests {
     fn solve_with_presolve(m: &Model) -> Solution {
         let lp = m.to_standard();
         match presolve(&lp) {
-            PresolveResult::Infeasible => Solution::failed(Status::Infeasible, lp.num_vars(), lp.num_cons()),
+            PresolveResult::Infeasible => {
+                Solution::failed(Status::Infeasible, lp.num_vars(), lp.num_cons())
+            }
             PresolveResult::Solved(s) => s,
             PresolveResult::Reduced(r) => {
                 let inner = simplex::solve(&r.lp, &SimplexConfig::default());
@@ -366,12 +362,7 @@ mod tests {
         let y = m.add_nonneg("y");
         let unused = m.add_var(0.0, 4.0, "unused");
         m.add_con(LinExpr::term(x, 1.0), Sense::Le, 6.0, "single");
-        m.add_con(
-            LinExpr::new().add(fixed, 1.0).add(x, 1.0).add(y, 2.0),
-            Sense::Le,
-            12.0,
-            "mix",
-        );
+        m.add_con(LinExpr::new().add(fixed, 1.0).add(x, 1.0).add(y, 2.0), Sense::Le, 12.0, "mix");
         m.set_objective(
             LinExpr::new().add(x, 3.0).add(y, 2.0).add(unused, 1.0).add(fixed, 1.0),
             Objective::Maximize,
@@ -398,7 +389,7 @@ mod tests {
         let x = m.add_nonneg("x");
         let y = m.add_nonneg("y");
         m.add_con(LinExpr::term(fixed, 1.0), Sense::Le, 2.0, "drops"); // empty after subst
-        // Two-variable row survives presolve.
+                                                                       // Two-variable row survives presolve.
         m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 5.0, "binding");
         m.set_objective(LinExpr::new().add(x, 1.0).add(y, 1.0), Objective::Maximize);
         let sol = solve_with_presolve(&m);

@@ -15,7 +15,7 @@
 //! sparse LU basis updates, and presolve.
 
 use crate::model::{Sense, StandardLp};
-use crate::solution::{SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::CscMatrix;
 use crate::warm::{BackendKind, Basis, ColStatus, WarmEvent};
 
@@ -299,7 +299,14 @@ impl<'a> Simplex<'a> {
         }
         let mut s = Simplex {
             cfg,
-            cols: Columns { a: lp.a.to_csc(), n, m, art_rows: Vec::new(), art_signs: Vec::new(), lp },
+            cols: Columns {
+                a: lp.a.to_csc(),
+                n,
+                m,
+                art_rows: Vec::new(),
+                art_signs: Vec::new(),
+                lp,
+            },
             lb,
             ub,
             x,
@@ -562,11 +569,8 @@ impl<'a> Simplex<'a> {
                 return PhaseEnd::Unbounded;
             }
             let t = t_max.max(0.0);
-            self.degenerate_streak = if t <= self.cfg.feas_tol {
-                self.degenerate_streak + 1
-            } else {
-                0
-            };
+            self.degenerate_streak =
+                if t <= self.cfg.feas_tol { self.degenerate_streak + 1 } else { 0 };
             // --- Apply the step. ---
             for pos in 0..self.m {
                 let bj = self.basis[pos];
@@ -597,7 +601,8 @@ impl<'a> Simplex<'a> {
                     self.state[j_enter] = VarState::Basic(pos);
                     // Leaving variable lands exactly on a bound.
                     self.x[j_leave] = if hits_upper { self.ub[j_leave] } else { self.lb[j_leave] };
-                    self.state[j_leave] = if hits_upper { VarState::AtUpper } else { VarState::AtLower };
+                    self.state[j_leave] =
+                        if hits_upper { VarState::AtUpper } else { VarState::AtLower };
                     self.basis[pos] = j_enter;
                     // Product-form update of the explicit inverse.
                     let m = self.m;
@@ -644,9 +649,7 @@ pub fn solve_warm(lp: &StandardLp, cfg: &SimplexConfig, warm: Option<&Basis>) ->
     // Row equilibration. Scaling rows does not change which columns form a
     // nonsingular basis, so the warm basis passes through unchanged.
     let row_norms = lp.a.row_inf_norms();
-    let needs_scaling = row_norms
-        .iter()
-        .any(|&v| v > 0.0 && !(1e-3..=1e3).contains(&v));
+    let needs_scaling = row_norms.iter().any(|&v| v > 0.0 && !(1e-3..=1e3).contains(&v));
     if needs_scaling {
         let scale: Vec<f64> =
             row_norms.iter().map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 }).collect();
@@ -765,7 +768,9 @@ fn solve_prepared<'a>(
             PhaseEnd::Stalled => return Solution::failed(Status::NumericalTrouble, n, m),
         }
         let art_total: f64 = (0..s.cols.art_rows.len()).map(|k| s.x[s.cols.n + s.cols.m + k]).sum();
-        if art_total > cfg.feas_tol * 10.0 * (1.0 + lp.rhs.iter().map(|r| r.abs()).fold(0.0, f64::max)) {
+        if art_total
+            > cfg.feas_tol * 10.0 * (1.0 + lp.rhs.iter().map(|r| r.abs()).fold(0.0, f64::max))
+        {
             return Solution::failed(Status::Infeasible, n, m);
         }
         // Pin artificials to zero for phase 2.
@@ -998,9 +1003,7 @@ mod tests {
         let y = m.add_var(0.0, 7.0, "y");
         m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, 9.0, "cap");
         m.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
-        let basis = solve(&m.to_standard(), &SimplexConfig::default())
-            .basis
-            .expect("basis");
+        let basis = solve(&m.to_standard(), &SimplexConfig::default()).basis.expect("basis");
         let mut m2 = m.clone();
         m2.set_bounds(x, 0.0, 6.0);
         let c = crate::model::ConId(0);

@@ -93,6 +93,7 @@ pub fn solve_with(model: &Model, cfg: &SolverConfig, warm: Option<&WarmStart>) -
         "cols" => model.num_vars(),
         "warm" => warm.is_some(),
     );
+    // arrow-lint: allow(wall-clock-in-core) — solve wall time reported in SolveStats; iteration counts, not time, bound the solve
     let start = std::time::Instant::now();
     let mut sol = solve_inner(model, cfg, warm, start);
     sol.stats.solve_seconds = start.elapsed().as_secs_f64();
@@ -162,6 +163,7 @@ fn solve_inner(
     model: &Model,
     cfg: &SolverConfig,
     warm: Option<&WarmStart>,
+    // arrow-lint: allow(wall-clock-in-core) — carries the caller's stats timestamp through; never branches on elapsed time
     start: std::time::Instant,
 ) -> Solution {
     if model.num_int_vars() > 0 {
@@ -210,9 +212,7 @@ fn solve_inner(
             Backend::Simplex => {
                 simplex::solve_warm(&lp, &cfg.simplex, warm.and_then(|w| w.basis.as_ref()))
             }
-            Backend::Pdhg => {
-                pdhg::solve_warm(&lp, &cfg.pdhg, warm.and_then(|w| w.point.as_ref()))
-            }
+            Backend::Pdhg => pdhg::solve_warm(&lp, &cfg.pdhg, warm.and_then(|w| w.point.as_ref())),
             Backend::Auto => unreachable!(),
         };
         // Auto mode falls back to the first-order method when the simplex
@@ -317,12 +317,7 @@ mod presolve_integration_tests {
         let x = m.add_nonneg("x");
         let y = m.add_nonneg("y");
         m.add_con(LinExpr::term(x, 1.0), Sense::Le, 7.0, "bound_row");
-        m.add_con(
-            LinExpr::new().add(fixed, 1.0).add(x, 1.0).add(y, 1.0),
-            Sense::Le,
-            12.0,
-            "mix",
-        );
+        m.add_con(LinExpr::new().add(fixed, 1.0).add(x, 1.0).add(y, 1.0), Sense::Le, 12.0, "mix");
         m.set_objective(
             LinExpr::new().add(x, 2.0).add(y, 1.0).add(fixed, 1.0),
             Objective::Maximize,

@@ -136,12 +136,7 @@ impl std::fmt::Debug for Histogram {
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: f64) {
-        let i = self
-            .inner
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(self.inner.bounds.len());
+        let i = self.inner.bounds.iter().position(|&b| v <= b).unwrap_or(self.inner.bounds.len());
         self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         f64_add(&self.inner.sum_bits, v);
@@ -496,9 +491,8 @@ mod tests {
         assert_eq!(h.count() - count0, observed);
         assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
         // Sum is an exact integer total here, so float CAS must be lossless.
-        let expected_sum: f64 = (0..THREADS)
-            .flat_map(|t| (0..PER_THREAD).map(move |i| ((t + i) % 10) as f64))
-            .sum();
+        let expected_sum: f64 =
+            (0..THREADS).flat_map(|t| (0..PER_THREAD).map(move |i| ((t + i) % 10) as f64)).sum();
         assert!(
             ((h.sum() - sum0) - expected_sum).abs() < 1e-6,
             "sum {} vs expected {expected_sum}",
@@ -518,10 +512,7 @@ mod tests {
         // must land within one bucket width (1.0) of the true quantile.
         for (q, truth) in [(0.1, 1.0), (0.5, 5.0), (0.9, 9.0), (1.0, 10.0)] {
             let est = h.quantile(q);
-            assert!(
-                (est - truth).abs() <= 1.0 + 1e-9,
-                "q={q}: estimate {est} vs truth {truth}"
-            );
+            assert!((est - truth).abs() <= 1.0 + 1e-9, "q={q}: estimate {est} vs truth {truth}");
         }
         // Overflow observations push the tail quantile to +inf.
         h.observe(1e9);

@@ -658,8 +658,7 @@ mod tests {
         assert_eq!(ends.len(), 1);
         assert_eq!(ends[0].field("epoch").and_then(FieldValue::as_u64), Some(7));
         let outer_dur = ends[0].duration_nanos.expect("duration");
-        let inner_dur =
-            ring.finished_spans("test.inner")[0].duration_nanos.expect("duration");
+        let inner_dur = ring.finished_spans("test.inner")[0].duration_nanos.expect("duration");
         assert!(outer_dur >= inner_dur);
     }
 

@@ -7,8 +7,8 @@
 //! light passes through intermediate ROADMs purely in the optical domain, so
 //! the IP layer sees a direct link between the endpoints (Fig. 2).
 
-use serde::{Deserialize, Serialize};
 use crate::spectrum::SpectrumMask;
+use serde::{Deserialize, Serialize};
 
 /// Identifier of a ROADM site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -155,7 +155,12 @@ impl OpticalNetwork {
     }
 
     /// Adds a fiber between two existing ROADMs.
-    pub fn add_fiber(&mut self, a: RoadmId, b: RoadmId, length_km: f64) -> Result<FiberId, OpticalError> {
+    pub fn add_fiber(
+        &mut self,
+        a: RoadmId,
+        b: RoadmId,
+        length_km: f64,
+    ) -> Result<FiberId, OpticalError> {
         for r in [a, b] {
             if r.0 >= self.num_roadms {
                 return Err(OpticalError::UnknownRoadm(r.0));
@@ -214,7 +219,12 @@ impl OpticalNetwork {
     }
 
     /// Validates that `path` is a contiguous walk from `src` to `dst`.
-    pub fn validate_path(&self, src: RoadmId, dst: RoadmId, path: &[FiberId]) -> Result<(), OpticalError> {
+    pub fn validate_path(
+        &self,
+        src: RoadmId,
+        dst: RoadmId,
+        path: &[FiberId],
+    ) -> Result<(), OpticalError> {
         if path.is_empty() {
             return Err(OpticalError::BrokenPath);
         }

@@ -34,8 +34,9 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: smallest distance pops first.
-        other.dist.partial_cmp(&self.dist).unwrap_or(std::cmp::Ordering::Equal)
+        // Reverse: smallest distance pops first. total_cmp keeps the
+        // comparator total even if a degenerate graph yields NaN weights.
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -225,7 +226,7 @@ mod tests {
         assert_eq!(paths[0].length_km, 1.5); // diagonal
         assert_eq!(paths[1].length_km, 2.0); // via B or D
         assert_eq!(paths[2].length_km, 2.0); // the other one
-        // All paths are distinct.
+                                             // All paths are distinct.
         assert_ne!(paths[1].fibers, paths[2].fibers);
     }
 

@@ -30,5 +30,8 @@ pub use restoration::{
     all_single_cut_ratios, empirical_cdf, path_inflation_analysis, roadm_reconfig_count,
     PathInflation, RestorationRatio, RoadmReconfigCount,
 };
-pub use rwa::{greedy_assign, is_feasible, solve_relaxed, ExactAssignment, LinkRestoration, RwaConfig, RwaSolution};
+pub use rwa::{
+    greedy_assign, is_feasible, solve_relaxed, ExactAssignment, LinkRestoration, RwaConfig,
+    RwaSolution,
+};
 pub use spectrum::{Band, SpectrumMask, DEFAULT_SLOTS};

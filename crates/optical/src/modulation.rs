@@ -42,7 +42,7 @@ impl ModulationTable {
     /// (a physically meaningless spec sheet).
     pub fn new(mut rows: Vec<ModulationRow>) -> Self {
         assert!(!rows.is_empty(), "modulation table cannot be empty");
-        rows.sort_by(|a, b| b.gbps.partial_cmp(&a.gbps).unwrap());
+        rows.sort_by(|a, b| b.gbps.total_cmp(&a.gbps));
         for pair in rows.windows(2) {
             assert!(
                 pair[0].reach_km <= pair[1].reach_km,

@@ -111,10 +111,7 @@ pub fn path_inflation_analysis(net: &OpticalNetwork, cfg: &RwaConfig) -> Vec<Pat
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            out.push(PathInflation {
-                primary_km,
-                restoration_km: link.paths[best].length_km,
-            });
+            out.push(PathInflation { primary_km, restoration_km: link.paths[best].length_km });
         }
     }
     out
@@ -136,11 +133,11 @@ pub fn roadm_reconfig_count(
     fiber: FiberId,
     cfg: &RwaConfig,
 ) -> RoadmReconfigCount {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     let cut = [fiber];
     let sol = solve_relaxed(net, &cut, cfg);
-    let mut add_drop: HashSet<RoadmId> = HashSet::new();
-    let mut intermediate: HashSet<RoadmId> = HashSet::new();
+    let mut add_drop: BTreeSet<RoadmId> = BTreeSet::new();
+    let mut intermediate: BTreeSet<RoadmId> = BTreeSet::new();
     for link in &sol.links {
         if link.wavelengths <= 1e-9 {
             continue;
@@ -171,17 +168,10 @@ pub fn roadm_reconfig_count(
 ///
 /// Returns `(value, fraction ≤ value)` pairs over the sorted inputs.
 pub fn empirical_cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
-    debug_assert!(
-        values.iter().all(|v| v.is_finite()),
-        "empirical_cdf expects finite samples"
-    );
+    debug_assert!(values.iter().all(|v| v.is_finite()), "empirical_cdf expects finite samples");
     values.sort_by(f64::total_cmp);
     let n = values.len().max(1) as f64;
-    values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+    values.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 #[cfg(test)]

@@ -227,11 +227,7 @@ pub fn solve_relaxed(net: &OpticalNetwork, cut: &[FiberId], cfg: &RwaConfig) -> 
             .collect();
         let wavelengths: f64 = per_path_wavelengths.iter().sum();
         let gbps_per_wavelength = if wavelengths > 1e-9 {
-            per_path_wavelengths
-                .iter()
-                .zip(gbps.iter())
-                .map(|(l, g)| l * g)
-                .sum::<f64>()
+            per_path_wavelengths.iter().zip(gbps.iter()).map(|(l, g)| l * g).sum::<f64>()
                 / wavelengths
         } else {
             gbps.iter().copied().fold(0.0, f64::max)
@@ -352,10 +348,7 @@ pub fn is_feasible(
     ordered.sort_by_key(|&(_, want)| std::cmp::Reverse(want));
     let assignments = greedy_assign(net, cut, cfg, Some(&ordered));
     targets.iter().all(|&(id, want)| {
-        assignments
-            .iter()
-            .find(|a| a.lightpath == id)
-            .is_some_and(|a| a.wavelengths() >= want)
+        assignments.iter().find(|a| a.lightpath == id).is_some_and(|a| a.wavelengths() >= want)
     })
 }
 

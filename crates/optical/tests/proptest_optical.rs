@@ -1,8 +1,8 @@
 //! Property-based tests of the optical substrate on random networks.
 
 use arrow_optical::{
-    greedy_assign, k_shortest_paths, solve_relaxed, Lightpath, OpticalNetwork, RoadmId,
-    RwaConfig, SpectrumMask,
+    greedy_assign, k_shortest_paths, solve_relaxed, Lightpath, OpticalNetwork, RoadmId, RwaConfig,
+    SpectrumMask,
 };
 use proptest::prelude::*;
 
@@ -27,9 +27,9 @@ fn random_net(n: usize, extra: &[(usize, usize)], lps: &[(usize, usize)]) -> Opt
         }
         if let Some(p) = arrow_optical::shortest_path(&net, r[a], r[b], &[], &[]) {
             // First free slot end-to-end.
-            if let Some(w) = (0..16).find(|&w| {
-                p.fibers.iter().all(|&f| net.fiber(f).spectrum.is_free(w))
-            }) {
+            if let Some(w) =
+                (0..16).find(|&w| p.fibers.iter().all(|&f| net.fiber(f).spectrum.is_free(w)))
+            {
                 net.provision(Lightpath {
                     src: r[a],
                     dst: r[b],

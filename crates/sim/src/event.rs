@@ -33,12 +33,10 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest time (then lowest seq) pops first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
+        // Reversed: earliest time (then lowest seq) pops first. total_cmp
+        // keeps the heap's comparator total (schedule() rejects non-finite
+        // times, but the ordering must not rely on that).
+        other.time.total_cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 

@@ -36,13 +36,15 @@ impl NoiseLoadedFiber {
     pub fn from_spectrum(spectrum: &arrow_optical::SpectrumMask) -> Self {
         NoiseLoadedFiber {
             states: (0..spectrum.num_slots())
-                .map(|w| {
-                    if spectrum.is_occupied(w) {
-                        ChannelState::Data
-                    } else {
-                        ChannelState::Noise
-                    }
-                })
+                .map(
+                    |w| {
+                        if spectrum.is_occupied(w) {
+                            ChannelState::Data
+                        } else {
+                            ChannelState::Noise
+                        }
+                    },
+                )
                 .collect(),
         }
     }
@@ -213,10 +215,8 @@ mod tests {
         // Pretend fiber 2 was cut: its data slots on *surviving* fiber
         // segments (here, modeled by releasing on f2 itself for the 2-node
         // toy) go back to noise while restoration lands on fiber 1.
-        let swaps = ctl.apply_restoration(
-            &[(f2, vec![2, 3, 4, 5])],
-            &[(vec![f1], vec![2, 3, 4, 5])],
-        );
+        let swaps =
+            ctl.apply_restoration(&[(f2, vec![2, 3, 4, 5])], &[(vec![f1], vec![2, 3, 4, 5])]);
         assert_eq!(swaps.len(), 8);
         assert_eq!(ctl.fiber(f2).data_count(), 0);
         assert_eq!(ctl.fiber(f1).data_count(), 6);

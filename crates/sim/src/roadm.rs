@@ -40,10 +40,7 @@ pub struct RoadmGroups {
 
 /// Collects the ROADM groups for a set of restored routes
 /// `(src, dst, surrogate path)`.
-pub fn roadm_groups(
-    net: &OpticalNetwork,
-    routes: &[(RoadmId, RoadmId, FiberPath)],
-) -> RoadmGroups {
+pub fn roadm_groups(net: &OpticalNetwork, routes: &[(RoadmId, RoadmId, FiberPath)]) -> RoadmGroups {
     let mut add_drop: HashSet<RoadmId> = HashSet::new();
     let mut intermediate: HashSet<RoadmId> = HashSet::new();
     for (src, dst, path) in routes {
@@ -117,10 +114,8 @@ mod tests {
     fn two_group_latency_is_constant_in_device_count() {
         let (net, r, f) = line_net();
         let p = RoadmParams::default();
-        let one = roadm_groups(
-            &net,
-            &[(r[0], r[1], FiberPath { fibers: vec![f[0]], length_km: 100.0 })],
-        );
+        let one =
+            roadm_groups(&net, &[(r[0], r[1], FiberPath { fibers: vec![f[0]], length_km: 100.0 })]);
         let many = roadm_groups(
             &net,
             &[(r[0], r[3], FiberPath { fibers: vec![f[0], f[1], f[2]], length_km: 300.0 })],

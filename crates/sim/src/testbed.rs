@@ -210,8 +210,7 @@ mod tests {
         let cut = [tb.fibers[3]];
         let affected = tb.net.affected_lightpaths(&cut);
         assert_eq!(affected.len(), 3, "A↔C, B↔D, C↔D must fail");
-        let lost: f64 =
-            affected.iter().map(|&l| tb.net.lightpath(l).capacity_gbps()).sum();
+        let lost: f64 = affected.iter().map(|&l| tb.net.lightpath(l).capacity_gbps()).sum();
         assert_eq!(lost, 2800.0, "14 wavelengths × 200 Gbps");
     }
 

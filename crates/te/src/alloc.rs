@@ -1,7 +1,7 @@
 //! TE allocations: the common output of every scheme.
 
-use serde::{Deserialize, Serialize};
 use crate::tunnels::{FlowId, TeInstance, TunnelId};
+use serde::{Deserialize, Serialize};
 
 /// Bandwidth allocation produced by a TE scheme.
 ///
@@ -39,14 +39,9 @@ impl TeAllocation {
     pub fn splitting_ratios(&self, inst: &TeInstance, f: FlowId) -> Vec<(TunnelId, f64)> {
         let eps = 1e-4;
         let tunnels = inst.flow_tunnels(f);
-        let weights: Vec<f64> =
-            tunnels.iter().map(|&t| self.a[t.0].max(eps)).collect();
+        let weights: Vec<f64> = tunnels.iter().map(|&t| self.a[t.0].max(eps)).collect();
         let total: f64 = weights.iter().sum();
-        tunnels
-            .iter()
-            .zip(weights)
-            .map(|(&t, w)| (t, w / total))
-            .collect()
+        tunnels.iter().zip(weights).map(|(&t, w)| (t, w / total)).collect()
     }
 
     /// Total admitted bandwidth `Σ_f b_f`.
@@ -80,7 +75,11 @@ mod tests {
             &wan,
             &tms[0],
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: false, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: false,
+                ..Default::default()
+            },
         );
         let alloc = TeAllocation {
             b: vec![1.0; inst.flows.len()],

@@ -23,7 +23,7 @@ use crate::restoration::RestorationTicket;
 use crate::schemes::{SchemeOutput, TeScheme};
 use crate::tunnels::{DirLink, TeInstance};
 use arrow_topology::FailureScenario;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Playback options.
 #[derive(Debug, Clone, Default)]
@@ -39,7 +39,7 @@ pub struct ScenarioDelivery {
     /// Delivered Gbps per flow.
     pub delivered: Vec<f64>,
     /// Directed link loads after congestion scaling.
-    pub link_loads: HashMap<DirLink, f64>,
+    pub link_loads: BTreeMap<DirLink, f64>,
     /// `Σ delivered / Σ demand` — the scenario's demand satisfaction.
     pub satisfaction: f64,
 }
@@ -62,28 +62,19 @@ pub fn play_scenario(
             None => true,
             Some(q) => {
                 let tid = crate::tunnels::TunnelId(ti);
-                inst.tunnel_survives(tid, q)
-                    || inst.tunnel_restorable(tid, q, &restored)
+                inst.tunnel_survives(tid, q) || inst.tunnel_restorable(tid, q, &restored)
             }
         })
         .collect();
     // Offered load per tunnel.
     let mut offered = vec![0.0; inst.tunnels.len()];
     for (fi, flow) in inst.flows.iter().enumerate() {
-        let alive_total: f64 = flow
-            .tunnels
-            .iter()
-            .filter(|&&t| alive[t.0])
-            .map(|&t| alloc.a[t.0])
-            .sum();
+        let alive_total: f64 =
+            flow.tunnels.iter().filter(|&&t| alive[t.0]).map(|&t| alloc.a[t.0]).sum();
         if alive_total <= 0.0 {
             continue;
         }
-        let send = if cfg.respread {
-            alloc.b[fi]
-        } else {
-            alloc.b[fi].min(alive_total)
-        };
+        let send = if cfg.respread { alloc.b[fi] } else { alloc.b[fi].min(alive_total) };
         for &t in &flow.tunnels {
             if alive[t.0] {
                 offered[t.0] = send * alloc.a[t.0] / alive_total;
@@ -91,7 +82,7 @@ pub fn play_scenario(
         }
     }
     // Link loads and congestion factors.
-    let mut loads: HashMap<DirLink, f64> = HashMap::new();
+    let mut loads: BTreeMap<DirLink, f64> = BTreeMap::new();
     for (ti, t) in inst.tunnels.iter().enumerate() {
         if offered[ti] <= 0.0 {
             continue;
@@ -108,7 +99,7 @@ pub fn play_scenario(
             inst.wan.link(key.0).capacity_gbps
         }
     };
-    let factor: HashMap<DirLink, f64> = loads
+    let factor: BTreeMap<DirLink, f64> = loads
         .iter()
         .map(|(k, &load)| {
             let cap = cap_of(k);
@@ -117,16 +108,12 @@ pub fn play_scenario(
         .collect();
     // Delivered traffic: each tunnel is throttled by its worst link.
     let mut delivered = vec![0.0; inst.flows.len()];
-    let mut final_loads: HashMap<DirLink, f64> = HashMap::new();
+    let mut final_loads: BTreeMap<DirLink, f64> = BTreeMap::new();
     for (ti, t) in inst.tunnels.iter().enumerate() {
         if offered[ti] <= 0.0 {
             continue;
         }
-        let worst = t
-            .hops
-            .iter()
-            .map(|h| factor[&DirLink(h.link, h.forward)])
-            .fold(1.0, f64::min);
+        let worst = t.hops.iter().map(|h| factor[&DirLink(h.link, h.forward)]).fold(1.0, f64::min);
         let got = offered[ti] * worst;
         delivered[t.flow.0] += got;
         for h in &t.hops {
@@ -141,11 +128,8 @@ pub fn play_scenario(
     // 1e-9 floor instead turned "no demand" into satisfaction ≈ 0 (or a
     // huge ratio when rounding left delivered slightly positive).
     let total_demand = inst.total_demand();
-    let satisfaction = if total_demand <= 0.0 {
-        1.0
-    } else {
-        delivered.iter().sum::<f64>() / total_demand
-    };
+    let satisfaction =
+        if total_demand <= 0.0 { 1.0 } else { delivered.iter().sum::<f64>() / total_demand };
     ScenarioDelivery { delivered, link_loads: final_loads, satisfaction }
 }
 
@@ -226,7 +210,7 @@ pub fn required_router_ports(
     beta: f64,
     cfg: &PlaybackConfig,
 ) -> f64 {
-    let mut cap: HashMap<DirLink, f64> = HashMap::new();
+    let mut cap: BTreeMap<DirLink, f64> = BTreeMap::new();
     let healthy = play_scenario(inst, &out.alloc, None, None, cfg);
     for (k, &v) in &healthy.link_loads {
         cap.insert(*k, v);
@@ -314,7 +298,11 @@ mod tests {
             &wan,
             &tms[0].scaled(scale),
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -398,12 +386,10 @@ mod tests {
         };
         // ECMP admits everything, so its healthy satisfaction may be higher,
         // but its worst-case drop (relative to healthy) must be larger.
-        let drop_e = play_scenario(&inst, &ecmp.alloc, None, None, &cfg).satisfaction - worst(&ecmp);
+        let drop_e =
+            play_scenario(&inst, &ecmp.alloc, None, None, &cfg).satisfaction - worst(&ecmp);
         let drop_f = play_scenario(&inst, &ffc.alloc, None, None, &cfg).satisfaction - worst(&ffc);
-        assert!(
-            drop_e > drop_f - 1e-6,
-            "ECMP drop {drop_e} should exceed FFC drop {drop_f}"
-        );
+        assert!(drop_e > drop_f - 1e-6, "ECMP drop {drop_e} should exceed FFC drop {drop_f}");
     }
 
     #[test]
@@ -491,13 +477,8 @@ mod tests {
         let out = Ecmp.solve(&inst);
         for q in &inst.scenarios {
             let frozen = play_scenario(&inst, &out.alloc, Some(q), None, &Default::default());
-            let spread = play_scenario(
-                &inst,
-                &out.alloc,
-                Some(q),
-                None,
-                &PlaybackConfig { respread: true },
-            );
+            let spread =
+                play_scenario(&inst, &out.alloc, Some(q), None, &PlaybackConfig { respread: true });
             // Respread pushes the full b_f onto survivors; with capacity
             // scaling it can congest, but in the typical case it delivers
             // at least as much offered traffic.

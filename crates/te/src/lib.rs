@@ -29,4 +29,6 @@ pub use schemes::joint::{binary_ticket_selection, joint_formulation_size, JointS
 pub use schemes::maxflow::MaxFlow;
 pub use schemes::teavar::TeaVar;
 pub use schemes::{SchemeOutput, TeScheme};
-pub use tunnels::{build_instance, DirLink, DirectedHop, Flow, FlowId, TeInstance, Tunnel, TunnelConfig, TunnelId};
+pub use tunnels::{
+    build_instance, DirLink, DirectedHop, Flow, FlowId, TeInstance, Tunnel, TunnelConfig, TunnelId,
+};

@@ -7,8 +7,8 @@
 //! here lets the TE formulations consume tickets without a dependency
 //! cycle.
 
-use serde::{Deserialize, Serialize};
 use arrow_topology::IpLinkId;
+use serde::{Deserialize, Serialize};
 
 /// One restoration candidate for one failure scenario: restorable Gbps per
 /// failed IP link (links absent from the map restore nothing).
@@ -26,11 +26,7 @@ impl RestorationTicket {
 
     /// Restorable capacity of `link` under this ticket (0 if absent).
     pub fn restored_gbps(&self, link: IpLinkId) -> f64 {
-        self.restored
-            .iter()
-            .find(|(l, _)| *l == link)
-            .map(|&(_, g)| g)
-            .unwrap_or(0.0)
+        self.restored.iter().find(|(l, _)| *l == link).map(|&(_, g)| g).unwrap_or(0.0)
     }
 
     /// Total restored capacity across links.
@@ -43,12 +39,8 @@ impl RestorationTicket {
     /// `Y_f^{z,q}`, which the Phase-I builder exploits to deduplicate
     /// constraints.
     pub fn support(&self) -> Vec<IpLinkId> {
-        let mut s: Vec<IpLinkId> = self
-            .restored
-            .iter()
-            .filter(|&&(_, g)| g > 0.0)
-            .map(|&(l, _)| l)
-            .collect();
+        let mut s: Vec<IpLinkId> =
+            self.restored.iter().filter(|&&(_, g)| g > 0.0).map(|&(l, _)| l).collect();
         s.sort();
         s
     }

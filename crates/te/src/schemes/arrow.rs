@@ -134,10 +134,7 @@ impl Arrow {
                     for (fi, flow) in inst.flows.iter().enumerate() {
                         // Skip flows untouched by this scenario: constraint
                         // (4) collapses to constraint (1).
-                        let affected = flow
-                            .tunnels
-                            .iter()
-                            .any(|&t| !inst.tunnel_survives(t, scen));
+                        let affected = flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, scen));
                         if !affected {
                             continue;
                         }
@@ -256,9 +253,7 @@ impl Arrow {
                     let y: Vec<TunnelId> = affected
                         .iter()
                         .copied()
-                        .filter(|&t| {
-                            inst.tunnel_restorable(t, scen, &|l| ticket.restored_gbps(l))
-                        })
+                        .filter(|&t| inst.tunnel_restorable(t, scen, &|l| ticket.restored_gbps(l)))
                         .collect();
                     let stranded: f64 = affected
                         .iter()
@@ -303,11 +298,7 @@ impl Arrow {
     }
 
     /// Phase II: final allocation under the winning tickets.
-    pub fn phase2(
-        &self,
-        inst: &TeInstance,
-        winning: &[usize],
-    ) -> (SchemeOutput, f64) {
+    pub fn phase2(&self, inst: &TeInstance, winning: &[usize]) -> (SchemeOutput, f64) {
         let (base, plan) = self.build_phase2(inst, winning);
         let sol = arrow_lp::solve(&base.model, &self.solver);
         assert!(sol.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol.status);
@@ -334,8 +325,7 @@ impl Arrow {
             let y = restorable_tunnels(inst, qi, ticket);
             // Constraint (10): residual + winning restorable tunnels.
             for (fi, flow) in inst.flows.iter().enumerate() {
-                let affected =
-                    flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, scen));
+                let affected = flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, scen));
                 if !affected {
                     continue;
                 }
@@ -499,9 +489,7 @@ impl ArrowOnline {
             tickets.per_scenario.len(),
             "ticket update must keep the scenario count"
         );
-        for (qi, (a, b)) in
-            old.per_scenario.iter().zip(&tickets.per_scenario).enumerate()
-        {
+        for (qi, (a, b)) in old.per_scenario.iter().zip(&tickets.per_scenario).enumerate() {
             assert_eq!(a.len(), b.len(), "scenario {qi}: ticket count changed");
             for (zi, (ta, tb)) in a.iter().zip(b).enumerate() {
                 let la: Vec<_> = ta.restored.iter().map(|&(l, _)| l).collect();
@@ -545,7 +533,11 @@ impl ArrowOnline {
             for (fi, f) in inst.flows.iter().enumerate() {
                 self.phase1.base.model.set_bounds(self.phase1.base.b[fi], 0.0, f.demand_gbps);
             }
-            arrow_lp::solve_with(&self.phase1.base.model, &self.arrow.solver, self.phase1_warm.as_ref())
+            arrow_lp::solve_with(
+                &self.phase1.base.model,
+                &self.arrow.solver,
+                self.phase1_warm.as_ref(),
+            )
         };
         assert!(sol1.status.is_usable(), "ARROW Phase I LP failed: {:?}", sol1.status);
         self.phase1_warm = sol1.warm_start();
@@ -633,15 +625,17 @@ mod tests {
     fn instance(scale: f64, max_scenarios: usize) -> TeInstance {
         let wan = b4(17);
         let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
-        let failures = generate_failures(
-            &wan,
-            &FailureConfig { max_scenarios, ..Default::default() },
-        );
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios, ..Default::default() });
         build_instance(
             &wan,
             &tms[0].scaled(scale),
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -747,12 +741,11 @@ mod tests {
                     .collect(),
             })
             .collect();
-        let naive = ArrowNaive { tickets: tickets.clone(), solver: Default::default() }
-            .solve(&inst);
-        let arrow = Arrow::new(TicketSet {
-            per_scenario: tickets.into_iter().map(|t| vec![t]).collect(),
-        })
-        .solve(&inst);
+        let naive =
+            ArrowNaive { tickets: tickets.clone(), solver: Default::default() }.solve(&inst);
+        let arrow =
+            Arrow::new(TicketSet { per_scenario: tickets.into_iter().map(|t| vec![t]).collect() })
+                .solve(&inst);
         assert!(
             (naive.alloc.throughput(&inst) - arrow.alloc.throughput(&inst)).abs() < 1e-4,
             "single-ticket ARROW must equal ARROW-Naive"
@@ -818,10 +811,7 @@ mod tests {
         let mut online = ArrowOnline::new(arrow, &inst);
         let first = online.solve(&inst);
         assert_eq!(first.winning, cold.winning, "winning tickets must match cold");
-        let (ta, tb) = (
-            cold.output.alloc.throughput(&inst),
-            first.output.alloc.throughput(&inst),
-        );
+        let (ta, tb) = (cold.output.alloc.throughput(&inst), first.output.alloc.throughput(&inst));
         assert!((ta - tb).abs() < 1e-9, "throughput {tb} != cold {ta}");
         assert_eq!(first.phase1_stats.warm, arrow_lp::WarmEvent::Cold);
     }
@@ -838,10 +828,8 @@ mod tests {
             let warm = online.solve(&shifted);
             let cold = arrow.solve_detailed(&shifted);
             assert_eq!(warm.winning, cold.winning, "scale {scale}: winners diverged");
-            let (tw, tc) = (
-                warm.output.alloc.throughput(&shifted),
-                cold.output.alloc.throughput(&shifted),
-            );
+            let (tw, tc) =
+                (warm.output.alloc.throughput(&shifted), cold.output.alloc.throughput(&shifted));
             assert!(
                 (tw - tc).abs() <= 1e-6 * (1.0 + tc.abs()),
                 "scale {scale}: warm {tw} vs cold {tc}"
@@ -871,10 +859,8 @@ mod tests {
         let patched = online.solve(&inst);
         let fresh = Arrow::new(richer).solve_detailed(&inst);
         assert_eq!(patched.winning, fresh.winning);
-        let (tp, tf) = (
-            patched.output.alloc.throughput(&inst),
-            fresh.output.alloc.throughput(&inst),
-        );
+        let (tp, tf) =
+            (patched.output.alloc.throughput(&inst), fresh.output.alloc.throughput(&inst));
         assert!((tp - tf).abs() <= 1e-6 * (1.0 + tf.abs()), "patched {tp} vs fresh {tf}");
     }
 
@@ -903,11 +889,8 @@ mod tests {
         let q0 = &inst.scenarios[0];
         let link = q0.failed_links[0];
         let cap = inst.wan.link(link).capacity_gbps;
-        let mut per_scenario: Vec<Vec<RestorationTicket>> = inst
-            .scenarios
-            .iter()
-            .map(|_| vec![RestorationTicket::empty()])
-            .collect();
+        let mut per_scenario: Vec<Vec<RestorationTicket>> =
+            inst.scenarios.iter().map(|_| vec![RestorationTicket::empty()]).collect();
         per_scenario[0] = vec![
             RestorationTicket { restored: vec![(link, 0.25 * cap)] },
             RestorationTicket { restored: vec![(link, cap)] }, // same support

@@ -39,8 +39,7 @@ impl Ffc {
 
     /// Enumerates all fiber-cut combinations of size 1..=k.
     fn combinations(&self, num_fibers: usize) -> Vec<Vec<FiberId>> {
-        let mut combos: Vec<Vec<FiberId>> =
-            (0..num_fibers).map(|f| vec![FiberId(f)]).collect();
+        let mut combos: Vec<Vec<FiberId>> = (0..num_fibers).map(|f| vec![FiberId(f)]).collect();
         if self.k >= 2 {
             for f in 0..num_fibers {
                 for g in f + 1..num_fibers {
@@ -63,7 +62,7 @@ impl TeScheme for Ffc {
         let combos = self.combinations(inst.wan.optical.num_fibers());
         // Per flow, the distinct "dead tunnel sets" across all combinations.
         for (fi, flow) in inst.flows.iter().enumerate() {
-            let mut seen: std::collections::HashSet<u64> = Default::default();
+            let mut seen: std::collections::BTreeSet<u64> = Default::default();
             for combo in &combos {
                 let failed = inst.wan.links_failed_by(combo);
                 if failed.is_empty() {
@@ -97,10 +96,7 @@ impl TeScheme for Ffc {
         }
         let sol = arrow_lp::solve(&base.model, &self.solver);
         assert!(sol.status.is_usable(), "FFC LP infeasible?! status {:?}", sol.status);
-        SchemeOutput {
-            alloc: extract_alloc(inst, &base, &sol, &self.name()),
-            restoration: None,
-        }
+        SchemeOutput { alloc: extract_alloc(inst, &base, &sol, &self.name()), restoration: None }
     }
 }
 
@@ -118,7 +114,11 @@ mod tests {
             &wan,
             &tms[0].scaled(scale),
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -134,9 +134,7 @@ mod tests {
                 let surviving: f64 = flow
                     .tunnels
                     .iter()
-                    .filter(|&&t| {
-                        !inst.tunnels[t.0].hops.iter().any(|h| failed.contains(&h.link))
-                    })
+                    .filter(|&&t| !inst.tunnels[t.0].hops.iter().any(|h| failed.contains(&h.link)))
                     .map(|&t| out.alloc.a[t.0])
                     .sum();
                 assert!(

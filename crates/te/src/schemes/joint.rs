@@ -53,18 +53,9 @@ pub fn joint_formulation_size(inst: &TeInstance, k: usize) -> JointSize {
         size.constraints += inst.flows.len() as u128 + scen.failed_links.len() as u128;
         for &link in &scen.failed_links {
             let l = inst.wan.link(link);
-            let (src, dst) = (
-                inst.wan.site_roadm[l.a.0],
-                inst.wan.site_roadm[l.b.0],
-            );
-            let paths = k_shortest_paths(
-                &inst.wan.optical,
-                src,
-                dst,
-                k,
-                &scen.cut_fibers,
-                f64::INFINITY,
-            );
+            let (src, dst) = (inst.wan.site_roadm[l.a.0], inst.wan.site_roadm[l.b.0]);
+            let paths =
+                k_shortest_paths(&inst.wan.optical, src, dst, k, &scen.cut_fibers, f64::INFINITY);
             for p in &paths {
                 let flen = p.fibers.len() as u128;
                 size.binary_vars += flen * slots; // ξ over (φ ∈ path, w)
@@ -108,14 +99,11 @@ pub fn binary_ticket_selection(
             xs.push(x);
             let y: Vec<crate::tunnels::TunnelId> = (0..inst.tunnels.len())
                 .map(crate::tunnels::TunnelId)
-                .filter(|&t| {
-                    inst.tunnel_restorable(t, scen, &|l| ticket.restored_gbps(l))
-                })
+                .filter(|&t| inst.tunnel_restorable(t, scen, &|l| ticket.restored_gbps(l)))
                 .collect();
             // (31): Σ_{t∈Y∪T^q} a ≥ b_f − M(1−x)
             for (fi, flow) in inst.flows.iter().enumerate() {
-                let affected =
-                    flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, scen));
+                let affected = flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, scen));
                 if !affected {
                     continue;
                 }
@@ -168,21 +156,14 @@ pub fn binary_ticket_selection(
         );
         selectors.push(xs);
     }
-    base.model.set_objective(
-        LinExpr::sum_vars(base.b.iter().copied()),
-        Objective::Maximize,
-    );
+    base.model.set_objective(LinExpr::sum_vars(base.b.iter().copied()), Objective::Maximize);
     let sol = arrow_lp::solve(&base.model, solver);
     if !sol.status.is_optimal() {
         return None;
     }
     let winning = selectors
         .iter()
-        .map(|xs| {
-            xs.iter()
-                .position(|&x| sol.value(x) > 0.5)
-                .unwrap_or(0)
-        })
+        .map(|xs| xs.iter().position(|&x| sol.value(x) > 0.5).unwrap_or(0))
         .collect();
     Some((sol.objective, winning))
 }
@@ -204,7 +185,11 @@ mod tests {
             &wan,
             &tms[0].scaled(4.0),
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 3, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 3,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 

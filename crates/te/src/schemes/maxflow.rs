@@ -54,7 +54,11 @@ pub(crate) mod tests {
             &wan,
             &tms[0],
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: false, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: false,
+                ..Default::default()
+            },
         );
         raw.scaled(scale * crate::eval::normalize_demand_scale(&raw))
     }
@@ -90,9 +94,7 @@ pub(crate) mod tests {
                 .tunnels
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| {
-                    t.hops.iter().any(|h| h.link == key.0 && h.forward == key.1)
-                })
+                .filter(|(_, t)| t.hops.iter().any(|h| h.link == key.0 && h.forward == key.1))
                 .map(|(i, _)| alloc.a[i])
                 .sum();
             let cap = inst.wan.link(key.0).capacity_gbps;

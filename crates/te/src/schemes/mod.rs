@@ -64,9 +64,8 @@ pub(crate) fn base_model(inst: &TeInstance) -> BaseModel {
         .enumerate()
         .map(|(i, f)| model.add_var(0.0, f.demand_gbps, format!("b_f{i}")))
         .collect();
-    let a: Vec<VarId> = (0..inst.tunnels.len())
-        .map(|t| model.add_nonneg(format!("a_t{t}")))
-        .collect();
+    let a: Vec<VarId> =
+        (0..inst.tunnels.len()).map(|t| model.add_nonneg(format!("a_t{t}"))).collect();
     // (1) Σ_{t ∈ T_f} a_{f,t} ≥ b_f
     for (i, f) in inst.flows.iter().enumerate() {
         let mut e = LinExpr::sum_vars(f.tunnels.iter().map(|&t| a[t.0]));

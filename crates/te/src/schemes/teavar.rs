@@ -51,9 +51,8 @@ impl TeScheme for TeaVar {
     fn solve(&self, inst: &TeInstance) -> SchemeOutput {
         let total_demand = inst.total_demand().max(1e-9);
         let mut model = Model::new();
-        let a: Vec<VarId> = (0..inst.tunnels.len())
-            .map(|t| model.add_nonneg(format!("a_t{t}")))
-            .collect();
+        let a: Vec<VarId> =
+            (0..inst.tunnels.len()).map(|t| model.add_nonneg(format!("a_t{t}"))).collect();
         // Healthy capacity constraints.
         for key in inst.used_dir_links() {
             let DirLink(link, fwd) = key;
@@ -74,9 +73,7 @@ impl TeScheme for TeaVar {
         // Scenario list: healthy + failure scenarios, probabilities
         // normalized over the enumerated mass.
         let failure_mass: f64 = inst.scenarios.iter().map(|s| s.probability).sum();
-        let healthy_p = self
-            .healthy_probability
-            .unwrap_or((1.0 - failure_mass).max(0.0));
+        let healthy_p = self.healthy_probability.unwrap_or((1.0 - failure_mass).max(0.0));
         let mass = (healthy_p + failure_mass).max(1e-12);
         let alpha = model.add_var(-1.0, 1.0, "alpha");
         let mut cvar_expr = LinExpr::term(alpha, 1.0);
@@ -96,10 +93,7 @@ impl TeScheme for TeaVar {
                 healthy_delivered.push(d);
             }
         }
-        for (qi, scen) in std::iter::once(None)
-            .chain(inst.scenarios.iter().map(Some))
-            .enumerate()
-        {
+        for (qi, scen) in std::iter::once(None).chain(inst.scenarios.iter().map(Some)).enumerate() {
             let p = match scen {
                 None => healthy_p / mass,
                 Some(s) => s.probability / mass,
@@ -110,8 +104,8 @@ impl TeScheme for TeaVar {
             // s_q + Σ delivered / D + α ≥ 1.
             let mut loss_con = LinExpr::term(s_q, 1.0).add(alpha, 1.0);
             for (fi, flow) in inst.flows.iter().enumerate() {
-                let affected = scen
-                    .is_some_and(|s| flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, s)));
+                let affected =
+                    scen.is_some_and(|s| flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, s)));
                 let d = if affected {
                     let scen = scen.expect("affected implies a failure scenario");
                     let d = model.add_var(0.0, flow.demand_gbps, format!("del_f{fi}_q{qi}"));
@@ -162,15 +156,17 @@ mod tests {
     fn instance(scale: f64) -> TeInstance {
         let wan = b4(17);
         let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
-        let failures = generate_failures(
-            &wan,
-            &FailureConfig { max_scenarios: 12, ..Default::default() },
-        );
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios: 12, ..Default::default() });
         build_instance(
             &wan,
             &tms[0].scaled(scale),
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 

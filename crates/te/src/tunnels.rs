@@ -188,12 +188,7 @@ fn hop_sites(wan: &Wan, src: SiteId, hops: &[DirectedHop]) -> Vec<SiteId> {
 }
 
 /// Yen's k-shortest loop-free IP paths.
-fn ip_k_shortest(
-    wan: &Wan,
-    src: SiteId,
-    dst: SiteId,
-    k: usize,
-) -> Vec<(Vec<DirectedHop>, f64)> {
+fn ip_k_shortest(wan: &Wan, src: SiteId, dst: SiteId, k: usize) -> Vec<(Vec<DirectedHop>, f64)> {
     let mut accepted: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
     let Some(first) = ip_shortest_path(wan, src, dst, &[], &[]) else {
         return accepted;
@@ -239,7 +234,7 @@ fn ip_k_shortest(
         let best = candidates
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
             .map(|(i, _)| i)
             .expect("non-empty");
         accepted.push(candidates.swap_remove(best));
@@ -270,7 +265,7 @@ pub fn build_instance(
         let mut chosen: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
         if cfg.prefer_fiber_disjoint {
             while chosen.len() < k && !cands.is_empty() {
-                let chosen_fibers: Vec<std::collections::HashSet<_>> = chosen
+                let chosen_fibers: Vec<std::collections::BTreeSet<_>> = chosen
                     .iter()
                     .map(|(hops, _)| {
                         hops.iter()
@@ -291,7 +286,7 @@ pub fn build_instance(
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         let score = |(hops, len): &(Vec<DirectedHop>, f64)| {
-                            let fibers: std::collections::HashSet<_> = hops
+                            let fibers: std::collections::BTreeSet<_> = hops
                                 .iter()
                                 .flat_map(|h| {
                                     wan.optical
@@ -301,13 +296,12 @@ pub fn build_instance(
                                         .copied()
                                 })
                                 .collect();
-                            let disjoint = chosen_fibers
-                                .iter()
-                                .filter(|cf| cf.is_disjoint(&fibers))
-                                .count() as f64;
+                            let disjoint =
+                                chosen_fibers.iter().filter(|cf| cf.is_disjoint(&fibers)).count()
+                                    as f64;
                             disjoint - len / 1e6
                         };
-                        score(a).partial_cmp(&score(b)).unwrap()
+                        score(a).total_cmp(&score(b))
                     })
                     .map(|(i, _)| i)
                     .expect("non-empty");
@@ -331,9 +325,8 @@ pub fn build_instance(
             }
         }
         for failed in &patch_sets {
-            let survives = chosen
-                .iter()
-                .any(|(hops, _)| hops.iter().all(|h| !failed.contains(&h.link)));
+            let survives =
+                chosen.iter().any(|(hops, _)| hops.iter().all(|h| !failed.contains(&h.link)));
             if !survives {
                 if let Some(extra) = ip_shortest_path(wan, src, dst, failed, &[]) {
                     if !chosen.iter().any(|(p, _)| *p == extra.0) {
@@ -438,7 +431,11 @@ mod tests {
             &wan,
             &tms[0],
             failures.failure_scenarios(),
-            &TunnelConfig { tunnels_per_flow: 4, prefer_fiber_disjoint: true, ..Default::default() },
+            &TunnelConfig {
+                tunnels_per_flow: 4,
+                prefer_fiber_disjoint: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -473,8 +470,7 @@ mod tests {
         let inst = small_instance();
         for q in &inst.scenarios {
             for f in &inst.flows {
-                let survives =
-                    f.tunnels.iter().any(|&t| inst.tunnel_survives(t, q));
+                let survives = f.tunnels.iter().any(|&t| inst.tunnel_survives(t, q));
                 assert!(
                     survives,
                     "flow {:?}->{:?} loses all tunnels under {:?}",

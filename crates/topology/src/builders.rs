@@ -98,11 +98,11 @@ fn provision_ip_layer(
     // utilization (used by the random fill pass; connectivity passes may
     // exceed it as a last resort).
     let try_provision = |optical: &mut OpticalNetwork,
-                             rng: &mut StdRng,
-                             i: usize,
-                             j: usize,
-                             want_waves: usize,
-                             strict: bool|
+                         rng: &mut StdRng,
+                         i: usize,
+                         j: usize,
+                         want_waves: usize,
+                         strict: bool|
      -> Option<IpLink> {
         let src = router_roadms[i];
         let dst = router_roadms[j];
@@ -111,17 +111,14 @@ fn provision_ip_layer(
         // is what keeps the Fig. 5a utilization profile: 95% < 60%).
         let mut paths = k_shortest_paths(optical, src, dst, 4, &[], cfg.modulation.max_reach_km());
         let load = |p: &arrow_optical::FiberPath| -> f64 {
-            p.fibers
-                .iter()
-                .map(|&f| optical.fiber(f).spectrum.utilization())
-                .fold(0.0, f64::max)
+            p.fibers.iter().map(|&f| optical.fiber(f).spectrum.utilization()).fold(0.0, f64::max)
         };
         // Keep hot fibers under ~55% so the utilization profile matches
         // Fig. 5a; overloaded candidates are only used as a last resort.
         paths.sort_by(|a, b| {
             let (la, lb) = (load(a), load(b));
             let (ca, cb) = (la >= 0.55, lb >= 0.55);
-            ca.cmp(&cb).then(la.partial_cmp(&lb).unwrap())
+            ca.cmp(&cb).then(la.total_cmp(&lb))
         });
         for path in paths {
             if strict && load(&path) >= 0.58 {
@@ -212,7 +209,9 @@ fn provision_ip_layer(
         }
         if let Some((peer, _)) = best {
             let waves = 1 + discrete(&mut rng, &cfg.wavelength_weights);
-            if let Some(l) = try_provision(&mut optical, &mut rng, i.min(peer), i.max(peer), waves, false) {
+            if let Some(l) =
+                try_provision(&mut optical, &mut rng, i.min(peer), i.max(peer), waves, false)
+            {
                 links.push(l);
             }
         }
@@ -302,9 +301,8 @@ pub fn b4(seed: u64) -> Wan {
 /// The IBM WAN: 17 routers/ROADMs, 23 fibers, 85 IP links (Table 4).
 pub fn ibm(seed: u64) -> Wan {
     // Ring of 17 plus 6 chords = 23 fibers (IBM research backbone shape).
-    let mut edges: Vec<(usize, usize, f64)> = (0..17)
-        .map(|i| (i, (i + 1) % 17, 280.0 + 84.0 * (i as f64 % 5.0)))
-        .collect();
+    let mut edges: Vec<(usize, usize, f64)> =
+        (0..17).map(|i| (i, (i + 1) % 17, 280.0 + 84.0 * (i as f64 % 5.0))).collect();
     edges.extend_from_slice(&[
         (0, 8, 1120.0),
         (2, 12, 1330.0),
@@ -325,9 +323,8 @@ pub fn facebook_like(seed: u64) -> Wan {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE_B00C);
     let n_roadms = 84;
     // Scatter ROADM sites over a continental footprint.
-    let pts: Vec<(f64, f64)> = (0..n_roadms)
-        .map(|_| (rng.gen_range(0.0..4200.0), rng.gen_range(0.0..2400.0)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        (0..n_roadms).map(|_| (rng.gen_range(0.0..4200.0), rng.gen_range(0.0..2400.0))).collect();
     let dist = |a: usize, b: usize| -> f64 {
         let dx = pts[a].0 - pts[b].0;
         let dy = pts[a].1 - pts[b].1;
@@ -370,7 +367,7 @@ pub fn facebook_like(seed: u64) -> Wan {
             }
         }
     }
-    candidates.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap());
+    candidates.sort_by(|x, y| x.2.total_cmp(&y.2));
     // MST adjacency for tree-path queries.
     let mst: Vec<(usize, usize)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
     let tree_path = |a: usize, b: usize| -> Vec<usize> {
@@ -384,7 +381,13 @@ pub fn facebook_like(seed: u64) -> Wan {
                 break;
             }
             for (ei, &(x, y)) in mst.iter().enumerate() {
-                let next = if x == at { y } else if y == at { x } else { continue };
+                let next = if x == at {
+                    y
+                } else if y == at {
+                    x
+                } else {
+                    continue;
+                };
                 if !seen[next] {
                     seen[next] = true;
                     prev[next] = Some((at, ei));
@@ -441,7 +444,7 @@ pub fn facebook_like(seed: u64) -> Wan {
             .max_by(|&a, &b| {
                 let da = routers.iter().map(|&r| dist(a, r)).fold(f64::INFINITY, f64::min);
                 let db = routers.iter().map(|&r| dist(b, r)).fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .expect("enough ROADMs");
         routers.push(far);
@@ -495,11 +498,7 @@ mod tests {
         assert_eq!(wan.num_sites(), 34);
         assert_eq!(wan.optical.num_roadms(), 84);
         assert_eq!(wan.optical.num_fibers(), 156);
-        assert!(
-            wan.num_links() >= 236,
-            "IP links {} (target 262, ≥90% required)",
-            wan.num_links()
-        );
+        assert!(wan.num_links() >= 236, "IP links {} (target 262, ≥90% required)", wan.num_links());
         wan.validate().unwrap();
         assert!(is_two_edge_connected(&wan.optical));
     }
@@ -507,12 +506,8 @@ mod tests {
     #[test]
     fn facebook_like_spectrum_utilization_matches_fig5a() {
         let wan = facebook_like(17);
-        let utils: Vec<f64> = wan
-            .optical
-            .fibers()
-            .iter()
-            .map(|f| f.spectrum.utilization())
-            .collect();
+        let utils: Vec<f64> =
+            wan.optical.fibers().iter().map(|f| f.spectrum.utilization()).collect();
         let below_60 = utils.iter().filter(|&&u| u < 0.6).count() as f64 / utils.len() as f64;
         assert!(below_60 >= 0.9, "only {:.0}% of fibers below 60% utilization", below_60 * 100.0);
     }

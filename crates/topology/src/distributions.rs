@@ -56,8 +56,7 @@ mod tests {
         // Mean of Weibull(k, λ) is λ·Γ(1 + 1/k). For k=0.8: Γ(2.25) ≈ 1.1330.
         let mut rng = StdRng::seed_from_u64(7);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| weibull(&mut rng, 0.8, 0.02)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| weibull(&mut rng, 0.8, 0.02)).sum::<f64>() / n as f64;
         let expected = 0.02 * 1.1330;
         assert!((mean - expected).abs() / expected < 0.02, "mean {mean} vs {expected}");
     }

@@ -7,12 +7,12 @@
 //! for Facebook). When a fiber fails, every IP link riding it fails
 //! simultaneously.
 
-use serde::{Deserialize, Serialize};
 use crate::distributions::weibull;
 use crate::wan::{IpLinkId, Wan};
 use arrow_optical::FiberId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// One failure scenario: a set of cut fibers with its probability.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -86,13 +86,19 @@ impl FailureModel {
     }
 }
 
+/// Orders scenarios by descending probability. total_cmp keeps the
+/// comparator total: a NaN probability (degenerate upstream inputs) sorts
+/// deterministically instead of panicking mid-sort.
+fn sort_by_probability_desc(scenarios: &mut [FailureScenario]) {
+    scenarios.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+}
+
 /// Draws per-fiber failure probabilities and enumerates scenarios.
 pub fn generate(wan: &Wan, cfg: &FailureConfig) -> FailureModel {
     let nf = wan.optical.num_fibers();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let fiber_prob: Vec<f64> = (0..nf)
-        .map(|_| weibull(&mut rng, cfg.weibull_shape, cfg.weibull_scale).min(0.5))
-        .collect();
+    let fiber_prob: Vec<f64> =
+        (0..nf).map(|_| weibull(&mut rng, cfg.weibull_shape, cfg.weibull_scale).min(0.5)).collect();
     let healthy_prob: f64 = fiber_prob.iter().map(|p| 1.0 - p).product();
 
     let mut scenarios = Vec::new();
@@ -124,7 +130,7 @@ pub fn generate(wan: &Wan, cfg: &FailureConfig) -> FailureModel {
             }
         }
     }
-    scenarios.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    sort_by_probability_desc(&mut scenarios);
     if cfg.max_scenarios > 0 && scenarios.len() > cfg.max_scenarios {
         scenarios.truncate(cfg.max_scenarios);
     }
@@ -154,11 +160,7 @@ mod tests {
     fn singles_exceeding_cutoff_are_present() {
         let wan = b4(17);
         let model = generate(&wan, &FailureConfig::default());
-        let singles = model
-            .failure_scenarios()
-            .iter()
-            .filter(|s| s.cut_fibers.len() == 1)
-            .count();
+        let singles = model.failure_scenarios().iter().filter(|s| s.cut_fibers.len() == 1).count();
         // With mean p≈0.0227 and cutoff 1e-3, essentially all 19 singles stay.
         assert!(singles >= 15, "only {singles} single-cut scenarios");
     }
@@ -181,9 +183,12 @@ mod tests {
         let model = generate(&wan, &FailureConfig::default());
         for s in model.failure_scenarios() {
             assert_eq!(s.failed_links, wan.links_failed_by(&s.cut_fibers));
-            assert!(!s.failed_links.is_empty() || s.cut_fibers.iter().all(|&f| {
-                wan.optical.affected_lightpaths(&[f]).is_empty()
-            }));
+            assert!(
+                !s.failed_links.is_empty()
+                    || s.cut_fibers
+                        .iter()
+                        .all(|&f| { wan.optical.affected_lightpaths(&[f]).is_empty() })
+            );
         }
     }
 
@@ -205,6 +210,25 @@ mod tests {
         let model = generate(&wan, &FailureConfig::default());
         let covered = model.covered_probability();
         assert!(covered > 0.9 && covered <= 1.0 + 1e-9, "covered {covered}");
+    }
+
+    #[test]
+    fn nan_probability_does_not_panic_scenario_sort() {
+        // partial_cmp().unwrap() here once meant a single NaN probability
+        // (degenerate upstream inputs) aborted scenario generation. The
+        // sort must stay total: real probabilities in descending order,
+        // NaN placed deterministically, no panic.
+        let mk = |p: f64| FailureScenario {
+            cut_fibers: vec![FiberId(0)],
+            probability: p,
+            failed_links: Vec::new(),
+        };
+        let mut scenarios = vec![mk(0.1), mk(f64::NAN), mk(0.7), mk(0.3)];
+        sort_by_probability_desc(&mut scenarios);
+        let reals: Vec<f64> =
+            scenarios.iter().map(|s| s.probability).filter(|p| !p.is_nan()).collect();
+        assert_eq!(reals, vec![0.7, 0.3, 0.1]);
+        assert_eq!(scenarios.iter().filter(|s| s.probability.is_nan()).count(), 1);
     }
 
     #[test]

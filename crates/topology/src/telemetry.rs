@@ -27,8 +27,12 @@ pub enum RootCause {
 
 impl RootCause {
     /// All causes, for iteration.
-    pub const ALL: [RootCause; 4] =
-        [RootCause::FiberCut, RootCause::OpticalHardware, RootCause::Router, RootCause::Maintenance];
+    pub const ALL: [RootCause; 4] = [
+        RootCause::FiberCut,
+        RootCause::OpticalHardware,
+        RootCause::Router,
+        RootCause::Maintenance,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -95,8 +99,7 @@ pub fn downtime_share(tickets: &[FailureTicket]) -> Vec<(RootCause, f64)> {
     RootCause::ALL
         .iter()
         .map(|&c| {
-            let hours: f64 =
-                tickets.iter().filter(|t| t.cause == c).map(|t| t.repair_hours).sum();
+            let hours: f64 = tickets.iter().filter(|t| t.cause == c).map(|t| t.repair_hours).sum();
             (c, if total > 0.0 { hours / total } else { 0.0 })
         })
         .collect()
@@ -104,11 +107,7 @@ pub fn downtime_share(tickets: &[FailureTicket]) -> Vec<(RootCause, f64)> {
 
 /// One month of wavelength-deployment counts (Fig. 21): a baseline rate
 /// with a visible surge starting at `surge_month` (COVID-19 in the paper).
-pub fn monthly_wavelength_deployments(
-    months: usize,
-    surge_month: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn monthly_wavelength_deployments(months: usize, surge_month: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..months)
         .map(|m| {
@@ -134,7 +133,7 @@ mod tests {
         assert!((share - 0.48).abs() < 0.08, "fiber-cut share {share}");
         // Median repair near 9 h.
         let mut hours: Vec<f64> = cuts.iter().map(|t| t.repair_hours).collect();
-        hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        hours.sort_by(|a, b| a.total_cmp(b));
         let median = hours[hours.len() / 2];
         assert!((median - 9.0).abs() < 2.5, "median {median}");
         // ~10% exceed a day.
@@ -146,11 +145,8 @@ mod tests {
     fn fiber_cuts_dominate_downtime() {
         let tickets = generate_tickets(600, 7);
         let shares = downtime_share(&tickets);
-        let cut_share = shares
-            .iter()
-            .find(|(c, _)| *c == RootCause::FiberCut)
-            .map(|&(_, s)| s)
-            .unwrap();
+        let cut_share =
+            shares.iter().find(|(c, _)| *c == RootCause::FiberCut).map(|&(_, s)| s).unwrap();
         assert!((cut_share - 0.67).abs() < 0.12, "downtime share {cut_share}");
     }
 

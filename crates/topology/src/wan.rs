@@ -6,8 +6,8 @@
 //! wavelengths riding one fiber path, Fig. 1), so cutting a fiber maps
 //! directly to a set of failed IP links.
 
-use serde::{Deserialize, Serialize};
 use arrow_optical::{FiberId, LightpathId, OpticalNetwork, RoadmId};
+use serde::{Deserialize, Serialize};
 
 /// Identifier of an IP-layer site (a datacenter/router location).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -98,10 +98,7 @@ impl Wan {
 
     /// The IP link realized by a lightpath, if any.
     pub fn link_of_lightpath(&self, lp: LightpathId) -> Option<IpLinkId> {
-        self.links
-            .iter()
-            .position(|l| l.lightpath == lp)
-            .map(IpLinkId)
+        self.links.iter().position(|l| l.lightpath == lp).map(IpLinkId)
     }
 
     /// Total IP capacity in Gbps (sum over links, single direction).
@@ -122,10 +119,7 @@ impl Wan {
 
     /// Wavelengths per IP link (the Fig. 22b distribution).
     pub fn wavelengths_per_link(&self) -> Vec<usize> {
-        self.links
-            .iter()
-            .map(|l| self.optical.lightpath(l.lightpath).wavelength_count())
-            .collect()
+        self.links.iter().map(|l| self.optical.lightpath(l.lightpath).wavelength_count()).collect()
     }
 
     /// Sanity check: every link's lightpath connects its sites' ROADMs and

@@ -14,10 +14,8 @@ use arrow_wan::prelude::*;
 fn main() {
     let wan = ibm(17);
     println!("== {} ==\n", wan.summary());
-    let failures = generate_failures(
-        &wan,
-        &FailureConfig { max_scenarios: 8, ..Default::default() },
-    );
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 8, ..Default::default() });
     let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 2, ..Default::default() });
 
     // ---- Offline stage ---------------------------------------------------
@@ -27,8 +25,7 @@ fn main() {
         ..Default::default()
     };
     let delta = config.lottery.delta;
-    let controller =
-        ArrowController::new(wan, failures.failure_scenarios().to_vec(), config);
+    let controller = ArrowController::new(wan, failures.failure_scenarios().to_vec(), config);
     println!("offline: {} failure scenarios considered", controller.offline().scenarios.len());
     println!("offline: {}", controller.offline().stats.summary());
     for (qi, (scen, tickets)) in controller

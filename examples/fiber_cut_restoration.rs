@@ -15,13 +15,12 @@ fn main() {
     let tb = build_testbed();
     let cut = tb.fibers[3]; // fiber C–D
     println!("== §5 testbed: 4 ROADMs, 34 amplifiers, 2,160 km fiber ==\n");
-    println!(
-        "Provisioned IP links: A↔B 0.4 Tbps | A↔C 1.2 Tbps | B↔D 1.2 Tbps | C↔D 0.4 Tbps"
-    );
+    println!("Provisioned IP links: A↔B 0.4 Tbps | A↔C 1.2 Tbps | B↔D 1.2 Tbps | C↔D 0.4 Tbps");
     println!("Cutting fiber C–D (14 wavelengths, 2.8 Tbps)...\n");
 
     let params = RoadmParams::default();
-    for (label, noise) in [("ARROW (noise loading)", true), ("legacy (amplifier reconvergence)", false)]
+    for (label, noise) in
+        [("ARROW (noise loading)", true), ("legacy (amplifier reconvergence)", false)]
     {
         let r = restoration_trial(&tb, cut, noise, &params);
         println!("--- {label} ---");

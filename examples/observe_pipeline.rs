@@ -49,10 +49,8 @@ fn main() {
 
     // Online stage: diurnal replay over the warm path (one `epoch` span
     // per interval, each wrapping te.phase1 / te.select / te.phase2).
-    let tm = gravity_matrices(
-        &ctl.wan,
-        &TrafficConfig { num_matrices: 1, ..Default::default() },
-    )[0]
+    let tm = gravity_matrices(&ctl.wan, &TrafficConfig { num_matrices: 1, ..Default::default() })
+        [0]
     .scaled(3.0);
     for (i, &scale) in DIURNAL.iter().enumerate() {
         let plan = ctl.plan_warm(&tm.scaled(scale)).expect("valid offline state plans cleanly");
@@ -72,7 +70,8 @@ fn main() {
     // Per-stage wall-clock breakdown from the trace.
     let records = ring.records();
     println!("\nstage          | spans | total s  | mean ms");
-    for stage in ["offline", "offline.scenario", "epoch", "te.phase1", "te.select", "te.phase2", "lp.solve"]
+    for stage in
+        ["offline", "offline.scenario", "epoch", "te.phase1", "te.select", "te.phase2", "lp.solve"]
     {
         let durations: Vec<f64> = records
             .iter()
@@ -120,5 +119,8 @@ fn main() {
             .all(|r| r.parent_id.is_some_and(|p| epoch_ids.contains(&p))),
         "te.* spans are children of epoch spans"
     );
-    println!("\nOK: span tree covers offline, {} epochs, and all three online phases", epochs.len());
+    println!(
+        "\nOK: span tree covers offline, {} epochs, and all three online phases",
+        epochs.len()
+    );
 }

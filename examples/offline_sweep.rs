@@ -21,7 +21,11 @@ fn main() {
     let scens = failures.failure_scenarios().to_vec();
     let cfg = LotteryConfig { num_tickets: 40, ..Default::default() };
     println!("== offline-stage thread sweep: {} ==", wan.summary());
-    println!("{} scenarios, |Z| = {} tickets requested per scenario\n", scens.len(), cfg.num_tickets);
+    println!(
+        "{} scenarios, |Z| = {} tickets requested per scenario\n",
+        scens.len(),
+        cfg.num_tickets
+    );
 
     // Sweep fixed thread counts regardless of the host's core count: on a
     // multicore machine the wall-clock column drops accordingly; on a

@@ -143,9 +143,8 @@ fn main() {
         tunnels: TunnelConfig { tunnels_per_flow: 4, ..Default::default() },
         ..Default::default()
     };
-    let tm = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() })
-        [0]
-    .scaled(3.0);
+    let tm = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() })[0]
+        .scaled(3.0);
 
     println!("== online-stage warm-vs-cold sweep: {} ==", wan.summary());
     let mut ctl = ArrowController::new(wan, scens, cfg);
@@ -153,14 +152,7 @@ fn main() {
     // epoch spans each sweep produces.
     let ring = Arc::new(RingSubscriber::new(4096));
     arrow_wan::obs::trace::install(ring.clone());
-    let z: usize = ctl
-        .offline()
-        .tickets
-        .per_scenario
-        .iter()
-        .map(|t| t.len())
-        .max()
-        .unwrap_or(0);
+    let z: usize = ctl.offline().tickets.per_scenario.iter().map(|t| t.len()).max().unwrap_or(0);
     println!(
         "{} scenarios, |Z| up to {} tickets, {} diurnal intervals\n",
         ctl.offline().scenarios.len(),
@@ -192,9 +184,7 @@ fn main() {
         );
     }
     let speedup = cold_wall / warm_wall.max(1e-12);
-    println!(
-        "\ncold wall {cold_wall:.3}s, warm wall {warm_wall:.3}s -> {speedup:.2}x end-to-end"
-    );
+    println!("\ncold wall {cold_wall:.3}s, warm wall {warm_wall:.3}s -> {speedup:.2}x end-to-end");
 
     let json = format!(
         "{{\n  \"topology\": \"B4\",\n  \"intervals\": {},\n  \"num_scenarios\": {},\n  \
@@ -218,9 +208,6 @@ fn main() {
 
     assert!(objectives_match, "warm Phase II objectives diverged from cold (> 1e-6 relative)");
     assert!(winning_identical, "warm winning-ticket choices diverged from cold");
-    assert!(
-        speedup >= 1.5,
-        "warm path speedup {speedup:.2}x below the 1.5x budget"
-    );
+    assert!(speedup >= 1.5, "warm path speedup {speedup:.2}x below the 1.5x budget");
     println!("OK: identical plans, {speedup:.2}x faster warm");
 }

@@ -107,11 +107,8 @@ fn main() {
     println!("\nTraffic demand: IP1 = 100 Gbps, IP2 = 400 Gbps.");
     let mut best = (0, 0.0);
     for (i, &(w1, w2)) in candidates.iter().enumerate() {
-        let throughput: f64 = demand
-            .iter()
-            .zip([w1, w2])
-            .map(|(&(_, d), w)| d.min(w as f64 * 100.0))
-            .sum();
+        let throughput: f64 =
+            demand.iter().zip([w1, w2]).map(|(&(_, d), w)| d.min(w as f64 * 100.0)).sum();
         println!("  candidate {}: throughput = {} Gbps", i + 1, throughput);
         if throughput > best.1 {
             best = (i + 1, throughput);

@@ -13,10 +13,8 @@ fn main() {
     let wan = b4(17);
     println!("== {} ==", wan.summary());
     let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
-    let failures = generate_failures(
-        &wan,
-        &FailureConfig { max_scenarios: 12, ..Default::default() },
-    );
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 12, ..Default::default() });
     let scenarios = failures.failure_scenarios().to_vec();
     let base = build_instance(
         &wan,
@@ -26,22 +24,15 @@ fn main() {
     );
     // Normalize so scale 1.0 = "all demand fits" (§6 demand scaling).
     let norm = normalize_demand_scale(&base);
-    println!(
-        "normalized demand scale: x{norm:.2} saturates the failure-oblivious LP\n"
-    );
+    println!("normalized demand scale: x{norm:.2} saturates the failure-oblivious LP\n");
 
     // Offline: LotteryTickets for ARROW; naive single candidates.
     let lottery = LotteryConfig { num_tickets: 10, ..Default::default() };
     let tickets = generate_tickets(&wan, &scenarios, &lottery);
-    let naive: Vec<RestorationTicket> = scenarios
-        .iter()
-        .map(|s| naive_ticket(&wan, s, &lottery.rwa))
-        .collect();
+    let naive: Vec<RestorationTicket> =
+        scenarios.iter().map(|s| naive_ticket(&wan, s, &lottery.rwa)).collect();
 
-    println!(
-        "{:<14} {:>8} {:>12} {:>12}",
-        "scheme", "scale", "throughput", "availability"
-    );
+    println!("{:<14} {:>8} {:>12} {:>12}", "scheme", "scale", "throughput", "availability");
     let playback = PlaybackConfig::default();
     for scale in [1.0, 1.5, 2.0, 3.0] {
         let inst = base.scaled(norm * scale);

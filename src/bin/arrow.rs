@@ -79,8 +79,7 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
     println!("{}", wan.summary());
     wan.validate()?;
     println!("total IP capacity: {:.1} Tbps", wan.total_capacity_gbps() / 1000.0);
-    let utils: Vec<f64> =
-        wan.optical.fibers().iter().map(|f| f.spectrum.utilization()).collect();
+    let utils: Vec<f64> = wan.optical.fibers().iter().map(|f| f.spectrum.utilization()).collect();
     let mean = utils.iter().sum::<f64>() / utils.len() as f64;
     let max = utils.iter().fold(0.0f64, |a, &b| a.max(b));
     println!(
@@ -146,10 +145,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     let wan = build_wan(name, seed)?;
     let failures = generate_failures(
         &wan,
-        &FailureConfig {
-            max_scenarios: flag(&flags, "scenarios", 6usize)?,
-            ..Default::default()
-        },
+        &FailureConfig { max_scenarios: flag(&flags, "scenarios", 6usize)?, ..Default::default() },
     );
     let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
     let controller = ArrowController::new(
@@ -196,10 +192,7 @@ fn cmd_availability(args: &[String]) -> Result<(), String> {
     let wan = build_wan(name, seed)?;
     let failures = generate_failures(
         &wan,
-        &FailureConfig {
-            max_scenarios: flag(&flags, "scenarios", 8usize)?,
-            ..Default::default()
-        },
+        &FailureConfig { max_scenarios: flag(&flags, "scenarios", 8usize)?, ..Default::default() },
     );
     let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
     let inst = build_instance(
@@ -221,11 +214,8 @@ fn cmd_availability(args: &[String]) -> Result<(), String> {
         }
         "naive" => {
             let lottery = LotteryConfig::default();
-            let naive: Vec<RestorationTicket> = inst
-                .scenarios
-                .iter()
-                .map(|s| naive_ticket(&wan, s, &lottery.rwa))
-                .collect();
+            let naive: Vec<RestorationTicket> =
+                inst.scenarios.iter().map(|s| naive_ticket(&wan, s, &lottery.rwa)).collect();
             ArrowNaive { tickets: naive, solver: Default::default() }.solve(&inst)
         }
         "ffc1" => Ffc::k1().solve(&inst),
@@ -290,8 +280,7 @@ fn cmd_mps(args: &[String]) -> Result<(), String> {
         .enumerate()
         .map(|(i, f)| model.add_var(0.0, f.demand_gbps, format!("b{i}")))
         .collect();
-    let a: Vec<_> =
-        (0..inst.tunnels.len()).map(|t| model.add_nonneg(format!("a{t}"))).collect();
+    let a: Vec<_> = (0..inst.tunnels.len()).map(|t| model.add_nonneg(format!("a{t}"))).collect();
     for (i, f) in inst.flows.iter().enumerate() {
         let mut e = LinExpr::sum_vars(f.tunnels.iter().map(|&t| a[t.0]));
         e.add_term(b[i], -1.0);

@@ -65,8 +65,7 @@ pub mod prelude {
         RoundDirection, ScenarioStats, TePlan,
     };
     pub use arrow_lp::{
-        Backend, LinExpr, Model, Objective, Sense, SolveStats, SolverConfig, WarmEvent,
-        WarmStart,
+        Backend, LinExpr, Model, Objective, Sense, SolveStats, SolverConfig, WarmEvent, WarmStart,
     };
     pub use arrow_optical::{
         all_single_cut_ratios, empirical_cdf, greedy_assign, is_feasible, k_shortest_paths,
@@ -80,12 +79,11 @@ pub mod prelude {
         build_instance, eval::availability, eval::availability_guaranteed_throughput,
         eval::normalize_demand_scale, eval::play_scenario, eval::required_router_ports,
         eval::PlaybackConfig, Arrow, ArrowNaive, ArrowOnline, Ecmp, Ffc, FlowId, MaxFlow,
-        RestorationTicket, SchemeOutput, TeaVar, TeInstance, TeScheme, TicketSet, TunnelConfig,
+        RestorationTicket, SchemeOutput, TeInstance, TeScheme, TeaVar, TicketSet, TunnelConfig,
         TunnelId,
     };
     pub use arrow_topology::{
-        b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig,
-        FailureModel, FailureScenario, IpLink, IpLinkId, SiteId, TrafficConfig, TrafficMatrix,
-        Wan,
+        b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig, FailureModel,
+        FailureScenario, IpLink, IpLinkId, SiteId, TrafficConfig, TrafficMatrix, Wan,
     };
 }

@@ -83,10 +83,8 @@ fn scheme_dominance_ordering_under_load() {
             .collect(),
     };
     let t_full = Arrow::new(full).solve(&inst).alloc.throughput(&inst);
-    let t_none = Arrow::new(TicketSet::none(inst.scenarios.len()))
-        .solve(&inst)
-        .alloc
-        .throughput(&inst);
+    let t_none =
+        Arrow::new(TicketSet::none(inst.scenarios.len())).solve(&inst).alloc.throughput(&inst);
     let t_ffc1 = Ffc::k1().solve(&inst).alloc.throughput(&inst);
     let t_ffc2 = Ffc::k2().solve(&inst).alloc.throughput(&inst);
     assert!(mf + 1e-4 >= t_full, "MaxFlow {mf} vs full-restoration ARROW {t_full}");
@@ -97,7 +95,8 @@ fn scheme_dominance_ordering_under_load() {
 #[test]
 fn controller_pipeline_on_ibm() {
     let wan = ibm(17);
-    let failures = generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
+    let failures =
+        generate_failures(&wan, &FailureConfig { max_scenarios: 4, ..Default::default() });
     let tms = gravity_matrices(&wan, &TrafficConfig { num_matrices: 1, ..Default::default() });
     let controller = ArrowController::new(
         wan,
