@@ -29,8 +29,9 @@ pub mod theorem;
 pub use controller::{ArrowController, ControllerConfig, PlanError, ReconfigRule, TePlan};
 pub use lottery::{
     derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
+    generate_tickets_shard, generate_tickets_shard_with_threads, generate_tickets_universe,
     generate_tickets_with_stats, generate_tickets_with_threads, naive_ticket, realize_ticket,
-    FractionalRestoration, LotteryConfig, OfflineStats, ScenarioStats,
+    FractionalRestoration, LotteryConfig, OfflineStats, ScenarioStats, ShardSpec,
 };
 pub use par::{default_threads, parallel_map, parallel_map_with};
 pub use theorem::{

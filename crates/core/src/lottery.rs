@@ -22,7 +22,7 @@
 
 use arrow_optical::rwa::{greedy_assign, is_feasible, solve_relaxed, RwaConfig};
 use arrow_te::restoration::{RestorationTicket, TicketSet};
-use arrow_topology::{FailureScenario, Wan};
+use arrow_topology::{FailureScenario, ScenarioUniverse, Wan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -466,7 +466,106 @@ pub fn generate_tickets_with_threads(
     }
     stats.wall_seconds = t0.elapsed().as_secs_f64();
     offline_metrics().wall_seconds.set(stats.wall_seconds);
-    (TicketSet { per_scenario }, stats)
+    (TicketSet::full(per_scenario), stats)
+}
+
+/// One deterministic slice of a scenario universe: shard `index` of `of`
+/// owns the global scenario indices `i` with `i % of == index`.
+///
+/// The strided (round-robin) slice balances work when scenarios are
+/// sorted by descending probability — contiguous chunks would give shard
+/// 0 all the expensive high-probability scenarios. Because every
+/// scenario's RNG stream derives from its *global* index
+/// ([`derive_seed`]), the shard layout never changes ticket bytes: any
+/// sharding merges back ([`TicketSet::merge`]) to the single-shard run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position in `0..of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// The trivial sharding: one shard covering everything.
+    pub fn whole() -> Self {
+        ShardSpec { index: 0, of: 1 }
+    }
+
+    /// Global scenario indices this shard owns out of `n` scenarios.
+    ///
+    /// `of` must be ≥ 1 and `index < of` (asserted — a malformed spec is
+    /// a programming error, not data).
+    pub fn indices(&self, n: usize) -> Vec<usize> {
+        assert!(self.of >= 1, "ShardSpec.of must be >= 1");
+        assert!(self.index < self.of, "ShardSpec.index {} out of 0..{}", self.index, self.of);
+        (self.index..n).step_by(self.of).collect()
+    }
+}
+
+/// Generates tickets for one shard of a compiled scenario universe.
+///
+/// The returned [`TicketSet`] covers exactly the universe indices in
+/// [`ShardSpec::indices`], carries them in `scenario_indices`, and digests
+/// deterministically; merging every shard of any `of`-way split
+/// reproduces the [`generate_tickets_universe`] result byte-for-byte
+/// (`crates/core/tests/determinism.rs` pins this).
+pub fn generate_tickets_shard(
+    wan: &Wan,
+    universe: &ScenarioUniverse,
+    cfg: &LotteryConfig,
+    shard: ShardSpec,
+) -> (TicketSet, OfflineStats) {
+    generate_tickets_shard_with_threads(wan, universe, cfg, shard, crate::par::default_threads())
+}
+
+/// [`generate_tickets_shard`] with an explicit worker count.
+pub fn generate_tickets_shard_with_threads(
+    wan: &Wan,
+    universe: &ScenarioUniverse,
+    cfg: &LotteryConfig,
+    shard: ShardSpec,
+    threads: usize,
+) -> (TicketSet, OfflineStats) {
+    let globals = shard.indices(universe.len());
+    let _span = arrow_obs::span!(
+        "offline",
+        "scenarios" => globals.len(),
+        "shard.index" => shard.index,
+        "shard.of" => shard.of,
+        "threads" => threads,
+        "num_tickets" => cfg.num_tickets,
+    );
+    // arrow-lint: allow(wall-clock-in-core) — offline-stage wall time feeds OfflineStats reporting; ticket contents never depend on it
+    let t0 = std::time::Instant::now();
+    let results = crate::par::parallel_map_with(threads, globals.clone(), |&g| {
+        scenario_tickets(wan, universe.scenario(g), g, cfg)
+    });
+    let mut entries = Vec::with_capacity(results.len());
+    let mut stats = OfflineStats {
+        per_scenario: Vec::with_capacity(results.len()),
+        wall_seconds: 0.0,
+        work_seconds: 0.0,
+        threads: threads.max(1),
+    };
+    for (&g, (tickets, s)) in globals.iter().zip(results) {
+        stats.work_seconds += s.seconds;
+        stats.per_scenario.push(s);
+        entries.push((g, tickets));
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    offline_metrics().wall_seconds.set(stats.wall_seconds);
+    (TicketSet::sharded(entries), stats)
+}
+
+/// Algorithm 1 over a whole compiled universe — the single-shard
+/// reference every sharded run must merge back to.
+pub fn generate_tickets_universe(
+    wan: &Wan,
+    universe: &ScenarioUniverse,
+    cfg: &LotteryConfig,
+) -> (TicketSet, OfflineStats) {
+    generate_tickets_shard(wan, universe, cfg, ShardSpec::whole())
 }
 
 /// The documented serial reference for the determinism contract: plain
@@ -479,13 +578,13 @@ pub fn generate_tickets_serial(
     scenarios: &[FailureScenario],
     cfg: &LotteryConfig,
 ) -> TicketSet {
-    TicketSet {
-        per_scenario: scenarios
+    TicketSet::full(
+        scenarios
             .iter()
             .enumerate()
             .map(|(i, scen)| scenario_tickets(wan, scen, i, cfg).0)
             .collect(),
-    }
+    )
 }
 
 #[cfg(test)]

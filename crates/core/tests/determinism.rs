@@ -7,10 +7,14 @@
 //! against the documented serial reference `generate_tickets_serial`.
 
 use arrow_core::lottery::{
-    derive_seed, generate_tickets, generate_tickets_serial, generate_tickets_with_threads,
-    LotteryConfig,
+    derive_seed, generate_tickets, generate_tickets_serial, generate_tickets_shard,
+    generate_tickets_universe, generate_tickets_with_threads, LotteryConfig, ShardSpec,
 };
-use arrow_topology::{b4, generate_failures, ibm, FailureConfig, FailureScenario, Wan};
+use arrow_te::TicketSet;
+use arrow_topology::{
+    b4, compile_universe, generate_failures, ibm, FailureConfig, FailureScenario, UniverseConfig,
+    Wan,
+};
 
 fn setup(max_scenarios: usize) -> (Wan, Vec<FailureScenario>) {
     let wan = b4(17);
@@ -123,6 +127,83 @@ fn relaxed_rwa_is_stable_across_runs_and_threads() {
     for (i, h) in handles.into_iter().enumerate() {
         assert_eq!(h.join().unwrap(), reference[i], "RWA solution diverged across threads");
     }
+}
+
+/// A small correlated universe on IBM for the shard-merge contract tests.
+fn ibm_universe() -> (Wan, arrow_topology::ScenarioUniverse) {
+    let wan = ibm(17);
+    let uni = compile_universe(
+        &wan,
+        &UniverseConfig {
+            max_k: 2,
+            cutoff: 1e-4,
+            auto_srlg_size: 3,
+            auto_srlg_probability: 1e-3,
+            maintenance_window: 2,
+            maintenance_probability: 5e-4,
+            max_scenarios: 10,
+            ..Default::default()
+        },
+    );
+    assert!(uni.len() >= 6, "universe too small to exercise sharding: {}", uni.len());
+    (wan, uni)
+}
+
+#[test]
+fn sharded_generation_merges_to_unsharded_bitwise_on_ibm() {
+    // The shard/merge contract: for any shard count, generating each
+    // shard independently and merging reproduces the single-shard run
+    // byte for byte (same TicketSet, same digest) — scenario RNG streams
+    // key off *global* universe indices, so the shard layout is
+    // invisible in the output.
+    let (wan, uni) = ibm_universe();
+    let cfg = LotteryConfig { num_tickets: 6, ..Default::default() };
+    let (full, _) = generate_tickets_universe(&wan, &uni, &cfg);
+    assert!(full.is_full(), "single-shard run must cover 0..n in order");
+    assert_eq!(full.per_scenario.len(), uni.len());
+
+    for of in [1usize, 2, 3, 7] {
+        let shards: Vec<TicketSet> = (0..of)
+            .map(|index| generate_tickets_shard(&wan, &uni, &cfg, ShardSpec { index, of }).0)
+            .collect();
+        // Shards partition the universe.
+        let covered: usize = shards.iter().map(|s| s.per_scenario.len()).sum();
+        assert_eq!(covered, uni.len(), "shards {of}-way don't partition the universe");
+
+        let merged = TicketSet::merge_all(shards.clone()).expect("honest shards must merge");
+        assert_eq!(merged, full, "merged TicketSet diverged at {of} shards");
+        assert_eq!(merged.digest(), full.digest(), "digest diverged at {of} shards");
+
+        // Merge order must not matter either.
+        let reversed =
+            TicketSet::merge_all(shards.into_iter().rev()).expect("reverse merge must succeed");
+        assert_eq!(reversed.digest(), full.digest(), "merge order changed bytes at {of} shards");
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_associative_on_digests() {
+    let (wan, uni) = ibm_universe();
+    let cfg = LotteryConfig { num_tickets: 4, ..Default::default() };
+    let shard = |index| generate_tickets_shard(&wan, &uni, &cfg, ShardSpec { index, of: 3 }).0;
+    let (a, b, c) = (shard(0), shard(1), shard(2));
+
+    // Commutativity.
+    let ab = a.merge(&b).expect("a+b");
+    let ba = b.merge(&a).expect("b+a");
+    assert_eq!(ab.digest(), ba.digest(), "merge is not commutative");
+    assert_eq!(ab, ba);
+
+    // Associativity.
+    let ab_c = ab.merge(&c).expect("(a+b)+c");
+    let bc = b.merge(&c).expect("b+c");
+    let a_bc = a.merge(&bc).expect("a+(b+c)");
+    assert_eq!(ab_c.digest(), a_bc.digest(), "merge is not associative");
+    assert_eq!(ab_c, a_bc);
+
+    // Idempotence on overlap: merging a shard with itself is the shard.
+    let aa = a.merge(&a).expect("a+a");
+    assert_eq!(aa.digest(), a.digest(), "self-merge must dedup to the shard");
 }
 
 #[test]

@@ -307,9 +307,8 @@ mod tests {
     }
 
     fn full_tickets(inst: &TeInstance) -> TicketSet {
-        TicketSet {
-            per_scenario: inst
-                .scenarios
+        TicketSet::full(
+            inst.scenarios
                 .iter()
                 .map(|s| {
                     vec![RestorationTicket {
@@ -321,7 +320,7 @@ mod tests {
                     }]
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

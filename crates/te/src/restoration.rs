@@ -52,20 +52,111 @@ impl RestorationTicket {
 /// `PartialEq` is structural and exact (bitwise on the Gbps values) — the
 /// offline stage's determinism tests rely on it to assert byte-identical
 /// generation across thread counts.
+///
+/// A set is either *full* (entry `q` describes global scenario `q`; built
+/// with [`TicketSet::full`]) or a *shard* of a larger universe (entries
+/// cover a subset of global scenario indices; built with
+/// [`TicketSet::sharded`]). [`TicketSet::scenario_indices`] records the
+/// mapping either way, and [`TicketSet::merge`] recombines shards into the
+/// byte-identical full set regardless of shard count or merge order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TicketSet {
     /// Per-scenario ticket lists.
     pub per_scenario: Vec<Vec<RestorationTicket>>,
+    /// Global scenario index described by each `per_scenario` entry,
+    /// ascending. A full set carries exactly `0..per_scenario.len()`; a
+    /// shard carries the (strided) subset its `ShardSpec` selected.
+    pub scenario_indices: Vec<usize>,
+}
+
+/// Why two ticket shards refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The same global scenario carries *different* ticket lists in the
+    /// two sets — they were generated from different seeds, configs, or
+    /// universes and recombining them would be silent corruption.
+    Conflict {
+        /// Global scenario index with diverging tickets.
+        scenario: usize,
+    },
+    /// A set's `scenario_indices` length does not match `per_scenario` —
+    /// it was hand-built inconsistently.
+    Malformed {
+        /// `per_scenario` entries present.
+        entries: usize,
+        /// `scenario_indices` entries present.
+        indices: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Conflict { scenario } => write!(
+                f,
+                "ticket shards disagree on scenario {scenario}: same global index, \
+                 different tickets (mixed seeds/configs/universes?)"
+            ),
+            MergeError::Malformed { entries, indices } => write!(
+                f,
+                "malformed TicketSet: {entries} per-scenario entries but {indices} \
+                 scenario indices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// One deduplicated restoration ticket with the probability mass of the
+/// scenarios that produced it (see [`TicketSet::weighted_pool`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedTicket {
+    /// The unique ticket (bitwise identity over `(link, gbps)` pairs).
+    pub ticket: RestorationTicket,
+    /// Combined probability of its scenarios, re-normalized by the covered
+    /// mass of the whole set so the pool is a distribution over tickets.
+    pub probability: f64,
+    /// Global scenario indices that carry this exact ticket, ascending.
+    pub scenarios: Vec<usize>,
 }
 
 impl TicketSet {
+    /// A *full* set: entry `q` holds the candidates for global scenario
+    /// `q`. This is what the TE formulations consume.
+    pub fn full(per_scenario: Vec<Vec<RestorationTicket>>) -> Self {
+        let scenario_indices = (0..per_scenario.len()).collect();
+        TicketSet { per_scenario, scenario_indices }
+    }
+
+    /// A *shard*: explicit `(global scenario index, tickets)` entries.
+    /// Entries are sorted by index so equal coverage means equal bytes no
+    /// matter what order the shard produced them in.
+    pub fn sharded(mut entries: Vec<(usize, Vec<RestorationTicket>)>) -> Self {
+        entries.sort_by_key(|&(q, _)| q);
+        let scenario_indices = entries.iter().map(|&(q, _)| q).collect();
+        let per_scenario = entries.into_iter().map(|(_, t)| t).collect();
+        TicketSet { per_scenario, scenario_indices }
+    }
+
     /// A set with no restoration at all (every scheme degenerates to
     /// failure-aware TE without restoration).
     pub fn none(num_scenarios: usize) -> Self {
-        TicketSet { per_scenario: vec![vec![RestorationTicket::empty()]; num_scenarios] }
+        TicketSet::full(vec![vec![RestorationTicket::empty()]; num_scenarios])
+    }
+
+    /// Whether this set is full (covers exactly `0..n` in order) rather
+    /// than a shard of a larger universe.
+    pub fn is_full(&self) -> bool {
+        self.scenario_indices.len() == self.per_scenario.len()
+            && self.scenario_indices.iter().copied().eq(0..self.per_scenario.len())
     }
 
     /// Tickets for scenario index `q`.
+    ///
+    /// Positional: on a full set `q` is the global scenario index; on a
+    /// shard it is the position within the shard (`scenario_indices[q]`
+    /// gives the global index).
     pub fn for_scenario(&self, q: usize) -> &[RestorationTicket] {
         &self.per_scenario[q]
     }
@@ -80,12 +171,123 @@ impl TicketSet {
         self.per_scenario.iter().map(|t| t.len()).sum()
     }
 
+    /// Merges two shards of the same universe into one set covering the
+    /// union of their scenarios.
+    ///
+    /// The operation is commutative and associative — entries land sorted
+    /// by global scenario index, so any merge tree over any sharding of a
+    /// universe reproduces the byte-identical full set (equal [`digest`]).
+    /// A scenario present in both sides must carry identical tickets
+    /// (deterministic generation guarantees this for honest shards); the
+    /// duplicate entry is dropped, and diverging duplicates are a
+    /// [`MergeError::Conflict`].
+    ///
+    /// [`digest`]: TicketSet::digest
+    pub fn merge(&self, other: &TicketSet) -> Result<TicketSet, MergeError> {
+        for set in [self, other] {
+            if set.scenario_indices.len() != set.per_scenario.len() {
+                return Err(MergeError::Malformed {
+                    entries: set.per_scenario.len(),
+                    indices: set.scenario_indices.len(),
+                });
+            }
+        }
+        // BTreeMap keys the union by global index — deterministic order,
+        // no hash iteration (this crate feeds LP row construction).
+        let mut union: std::collections::BTreeMap<usize, &Vec<RestorationTicket>> =
+            std::collections::BTreeMap::new();
+        for set in [self, other] {
+            for (&q, tickets) in set.scenario_indices.iter().zip(&set.per_scenario) {
+                match union.entry(q) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(tickets);
+                    }
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        if *e.get() != tickets {
+                            return Err(MergeError::Conflict { scenario: q });
+                        }
+                    }
+                }
+            }
+        }
+        let mut merged = TicketSet {
+            per_scenario: Vec::with_capacity(union.len()),
+            scenario_indices: Vec::with_capacity(union.len()),
+        };
+        for (q, tickets) in union {
+            merged.scenario_indices.push(q);
+            merged.per_scenario.push(tickets.clone());
+        }
+        Ok(merged)
+    }
+
+    /// Folds [`merge`](TicketSet::merge) over any number of shards. An
+    /// empty iterator yields the empty set.
+    pub fn merge_all(shards: impl IntoIterator<Item = TicketSet>) -> Result<TicketSet, MergeError> {
+        let mut acc = TicketSet::default();
+        for shard in shards {
+            acc = acc.merge(&shard)?;
+        }
+        Ok(acc)
+    }
+
+    /// The deduplicated ticket pool: every distinct ticket exactly once,
+    /// weighted by the probability of the scenarios that produced it.
+    ///
+    /// `scenario_prob[q]` is the probability of global scenario `q` (a
+    /// compiled universe's `probabilities()`; indices outside the slice
+    /// weigh zero). Identical tickets emitted for different scenarios —
+    /// common across shards, where k-cut supersets restore the same links
+    /// — collapse to one [`WeightedTicket`] whose probability is the *sum*
+    /// over its scenarios, re-normalized by the set's covered mass so the
+    /// pool sums to ≤ 1. Identity is bitwise on the `(link, gbps)` pairs;
+    /// output order is first appearance (scenario order, then ticket
+    /// order), which is deterministic for deterministic generation.
+    pub fn weighted_pool(&self, scenario_prob: &[f64]) -> Vec<WeightedTicket> {
+        let covered: f64 = self
+            .scenario_indices
+            .iter()
+            .map(|&q| scenario_prob.get(q).copied().unwrap_or(0.0))
+            .sum();
+        let norm = if covered > 0.0 { covered } else { 1.0 };
+        // Bitwise ticket key → position in the output pool.
+        let mut seen: std::collections::BTreeMap<Vec<(usize, u64)>, usize> =
+            std::collections::BTreeMap::new();
+        let mut pool: Vec<WeightedTicket> = Vec::new();
+        for (&q, tickets) in self.scenario_indices.iter().zip(&self.per_scenario) {
+            let p = scenario_prob.get(q).copied().unwrap_or(0.0);
+            for t in tickets {
+                let key: Vec<(usize, u64)> =
+                    t.restored.iter().map(|&(l, g)| (l.0, g.to_bits())).collect();
+                let at = *seen.entry(key).or_insert_with(|| {
+                    pool.push(WeightedTicket {
+                        ticket: t.clone(),
+                        probability: 0.0,
+                        scenarios: Vec::new(),
+                    });
+                    pool.len() - 1
+                });
+                // Count each scenario once even if (dedupe disabled) it
+                // lists the same ticket twice.
+                if pool[at].scenarios.last() != Some(&q) {
+                    pool[at].scenarios.push(q);
+                    pool[at].probability += p / norm;
+                }
+            }
+        }
+        for w in &mut pool {
+            w.probability = w.probability.min(1.0);
+        }
+        pool
+    }
+
     /// An order-sensitive 64-bit digest of the full set (FNV-1a over the
-    /// structure and the exact bit patterns of every Gbps value).
+    /// structure, the scenario indices, and the exact bit patterns of
+    /// every Gbps value).
     ///
     /// Two sets digest equal iff they are `==`; the determinism tests use
-    /// it for a compact cross-thread-count fingerprint, and it is cheap
-    /// enough to log per offline run.
+    /// it for a compact cross-thread-count and cross-shard fingerprint,
+    /// and it is cheap enough to log per offline run.
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -97,7 +299,8 @@ impl TicketSet {
             }
         };
         mix(self.per_scenario.len() as u64);
-        for tickets in &self.per_scenario {
+        for (&q, tickets) in self.scenario_indices.iter().zip(&self.per_scenario) {
+            mix(q as u64);
             mix(tickets.len() as u64);
             for t in tickets {
                 mix(t.restored.len() as u64);

@@ -601,9 +601,7 @@ impl TeScheme for ArrowNaive {
 
     fn solve(&self, inst: &TeInstance) -> SchemeOutput {
         let arrow = Arrow {
-            tickets: TicketSet {
-                per_scenario: self.tickets.iter().map(|t| vec![t.clone()]).collect(),
-            },
+            tickets: TicketSet::full(self.tickets.iter().map(|t| vec![t.clone()]).collect()),
             alpha: 0.1,
             solver: self.solver.clone(),
         };
@@ -641,9 +639,8 @@ mod tests {
 
     /// Tickets granting full restoration of every failed link.
     fn full_tickets(inst: &TeInstance) -> TicketSet {
-        TicketSet {
-            per_scenario: inst
-                .scenarios
+        TicketSet::full(
+            inst.scenarios
                 .iter()
                 .map(|s| {
                     vec![RestorationTicket {
@@ -655,7 +652,7 @@ mod tests {
                     }]
                 })
                 .collect(),
-        }
+        )
     }
 
     /// Tickets restoring nothing.
@@ -721,7 +718,7 @@ mod tests {
             RestorationTicket { restored: vec![(link, 0.0)] },
             RestorationTicket { restored: vec![(link, cap)] },
         ];
-        let arrow = Arrow::new(TicketSet { per_scenario });
+        let arrow = Arrow::new(TicketSet::full(per_scenario));
         let outcome = arrow.solve_detailed(&inst.scaled(4.0));
         // The full-restoration candidate must win scenario 0.
         assert_eq!(outcome.winning[0], 1, "full-restoration ticket should win");
@@ -743,9 +740,8 @@ mod tests {
             .collect();
         let naive =
             ArrowNaive { tickets: tickets.clone(), solver: Default::default() }.solve(&inst);
-        let arrow =
-            Arrow::new(TicketSet { per_scenario: tickets.into_iter().map(|t| vec![t]).collect() })
-                .solve(&inst);
+        let arrow = Arrow::new(TicketSet::full(tickets.into_iter().map(|t| vec![t]).collect()))
+            .solve(&inst);
         assert!(
             (naive.alloc.throughput(&inst) - arrow.alloc.throughput(&inst)).abs() < 1e-4,
             "single-ticket ARROW must equal ARROW-Naive"
@@ -779,9 +775,8 @@ mod tests {
     /// Tickets restoring half of each failed link's capacity, plus an
     /// empty candidate — gives Phase I a real choice to make.
     fn half_or_nothing_tickets(inst: &TeInstance) -> TicketSet {
-        TicketSet {
-            per_scenario: inst
-                .scenarios
+        TicketSet::full(
+            inst.scenarios
                 .iter()
                 .map(|s| {
                     vec![
@@ -798,7 +793,7 @@ mod tests {
                     ]
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]
@@ -895,7 +890,7 @@ mod tests {
             RestorationTicket { restored: vec![(link, 0.25 * cap)] },
             RestorationTicket { restored: vec![(link, cap)] }, // same support
         ];
-        let outcome = Arrow::new(TicketSet { per_scenario }).solve_detailed(&inst);
+        let outcome = Arrow::new(TicketSet::full(per_scenario)).solve_detailed(&inst);
         assert_eq!(outcome.winning[0], 1, "larger-capacity ticket should win");
     }
 }

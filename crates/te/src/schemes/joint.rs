@@ -217,9 +217,8 @@ mod tests {
     fn binary_ilp_agrees_with_two_phase_winner() {
         let inst = tiny_instance();
         // Two tickets per scenario: restore-nothing vs restore-everything.
-        let tickets = TicketSet {
-            per_scenario: inst
-                .scenarios
+        let tickets = TicketSet::full(
+            inst.scenarios
                 .iter()
                 .map(|s| {
                     vec![
@@ -236,7 +235,7 @@ mod tests {
                     ]
                 })
                 .collect(),
-        };
+        );
         let (ilp_obj, ilp_winning) =
             binary_ticket_selection(&inst, &tickets, &SolverConfig::default())
                 .expect("tiny ILP must solve");

@@ -19,7 +19,11 @@ pub mod traffic;
 pub mod wan;
 
 pub use builders::{b4, facebook_like, ibm, is_two_edge_connected, IpLayerConfig};
-pub use failures::{generate as generate_failures, FailureConfig, FailureModel, FailureScenario};
+pub use failures::{
+    compile_universe, generate as generate_failures, CompiledScenario, FailureConfig, FailureModel,
+    FailureScenario, ScenarioId, ScenarioSource, ScenarioUniverse, SrlgGroup, UniverseConfig,
+    UniverseStats,
+};
 pub use io::Snapshot;
 pub use traffic::{gravity_matrices, TrafficConfig, TrafficMatrix};
 pub use wan::{IpLink, IpLinkId, SiteId, Wan};

@@ -59,10 +59,11 @@ pub use arrow_topology as topology;
 pub mod prelude {
     pub use arrow_core::{
         derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
+        generate_tickets_shard, generate_tickets_shard_with_threads, generate_tickets_universe,
         generate_tickets_with_stats, generate_tickets_with_threads, kappa, naive_ticket,
         optimality_probability, realize_ticket, tickets_for_target, ArrowController,
         ControllerConfig, LinkRounding, LotteryConfig, OfflineStats, PlanError, ReconfigRule,
-        RoundDirection, ScenarioStats, TePlan,
+        RoundDirection, ScenarioStats, ShardSpec, TePlan,
     };
     pub use arrow_lp::{
         Backend, LinExpr, Model, Objective, Sense, SolveStats, SolverConfig, WarmEvent, WarmStart,
@@ -79,11 +80,13 @@ pub mod prelude {
         build_instance, eval::availability, eval::availability_guaranteed_throughput,
         eval::normalize_demand_scale, eval::play_scenario, eval::required_router_ports,
         eval::PlaybackConfig, Arrow, ArrowNaive, ArrowOnline, Ecmp, Ffc, FlowId, MaxFlow,
-        RestorationTicket, SchemeOutput, TeInstance, TeScheme, TeaVar, TicketSet, TunnelConfig,
-        TunnelId,
+        MergeError, RestorationTicket, SchemeOutput, TeInstance, TeScheme, TeaVar, TicketSet,
+        TunnelConfig, TunnelId, WeightedTicket,
     };
     pub use arrow_topology::{
-        b4, facebook_like, generate_failures, gravity_matrices, ibm, FailureConfig, FailureModel,
-        FailureScenario, IpLink, IpLinkId, SiteId, TrafficConfig, TrafficMatrix, Wan,
+        b4, compile_universe, facebook_like, generate_failures, gravity_matrices, ibm,
+        CompiledScenario, FailureConfig, FailureModel, FailureScenario, IpLink, IpLinkId,
+        ScenarioId, ScenarioSource, ScenarioUniverse, SiteId, SrlgGroup, TrafficConfig,
+        TrafficMatrix, UniverseConfig, UniverseStats, Wan,
     };
 }
