@@ -1,0 +1,218 @@
+//! The batched-LP bitwise contract, end to end.
+//!
+//! PR-level invariants pinned here:
+//!
+//! * `solve_relaxed_batch` is bitwise identical to per-scenario
+//!   `solve_relaxed` for arbitrary scenario slices and lane counts, on both
+//!   B4 and IBM, under the default (Auto) and PDHG-pinned solver configs —
+//!   the latter routes structural groups through the struct-of-arrays
+//!   multi-RHS kernel.
+//! * A true multi-RHS family (one RWA model with per-lane gamma caps)
+//!   solved as one PDHG panel matches lane-by-lane sequential solves to
+//!   the bit.
+//! * Offline ticket generation produces byte-identical `TicketSet` digests
+//!   with batching on (`batch_lanes: 16`), off (`batch_lanes: 1`), and
+//!   under sharding — the PR 6 sequential path and the batched path are
+//!   indistinguishable in output.
+
+use std::sync::OnceLock;
+
+use arrow_core::lottery::{
+    generate_tickets_shard, generate_tickets_universe, LotteryConfig, ShardSpec,
+};
+use arrow_lp::{Backend, SolverConfig};
+use arrow_optical::rwa::{build_relaxed, solve_relaxed, solve_relaxed_batch, RwaConfig};
+use arrow_te::TicketSet;
+use arrow_topology::{
+    b4, compile_universe, generate_failures, ibm, FailureConfig, FailureScenario, UniverseConfig,
+    Wan,
+};
+use proptest::prelude::*;
+
+fn fixture(use_ibm: bool) -> &'static (Wan, Vec<FailureScenario>) {
+    static B4: OnceLock<(Wan, Vec<FailureScenario>)> = OnceLock::new();
+    static IBM: OnceLock<(Wan, Vec<FailureScenario>)> = OnceLock::new();
+    let build = move || {
+        let wan = if use_ibm { ibm(17) } else { b4(17) };
+        let failures =
+            generate_failures(&wan, &FailureConfig { max_scenarios: 8, ..Default::default() });
+        let scens = failures.failure_scenarios().to_vec();
+        (wan, scens)
+    };
+    if use_ibm {
+        IBM.get_or_init(build)
+    } else {
+        B4.get_or_init(build)
+    }
+}
+
+fn pdhg_rwa() -> RwaConfig {
+    RwaConfig { solver: SolverConfig::first_order(1e-7), ..RwaConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Batched relaxed RWA is bitwise identical to sequential solves for
+    /// random scenario slices and 1/2/7-lane batches. `Debug` for `f64`
+    /// round-trips, so equal renderings mean bitwise-equal solutions.
+    #[test]
+    fn batched_rwa_bitwise_matches_sequential(
+        use_ibm in any::<bool>(),
+        start in 0usize..8,
+        lane_pick in 0usize..3,
+        pin_pdhg in any::<bool>(),
+    ) {
+        let lanes = [1usize, 2, 7][lane_pick];
+        let (wan, scens) = fixture(use_ibm);
+        let rwa = if pin_pdhg { pdhg_rwa() } else { RwaConfig::default() };
+        let picked: Vec<&FailureScenario> =
+            (0..lanes).map(|i| &scens[(start + i) % scens.len()]).collect();
+        let cuts: Vec<_> = picked.iter().map(|s| s.cut_fibers.as_slice()).collect();
+        let batched = solve_relaxed_batch(&wan.optical, &cuts, &rwa);
+        prop_assert_eq!(batched.len(), lanes);
+        for (cut, b) in cuts.iter().zip(&batched) {
+            let seq = solve_relaxed(&wan.optical, cut, &rwa);
+            prop_assert_eq!(format!("{seq:?}"), format!("{b:?}"));
+        }
+    }
+}
+
+/// One RWA model cloned into a multi-RHS family — per-lane gamma caps
+/// patched via `Model::set_rhs` — and solved as a single PDHG panel. This
+/// is the pure tentpole kernel path (every lane shares structure, none can
+/// fall back to sequential grouping) and must match lane-by-lane
+/// sequential solves bit for bit.
+#[test]
+fn gamma_patched_multi_rhs_panel_is_bitwise_sequential() {
+    let (wan, scens) = fixture(true);
+    // Pick the scenario whose RWA LP has the most rows so the panel is
+    // non-trivial.
+    let rwa = RwaConfig::default();
+    let base = scens
+        .iter()
+        .map(|s| build_relaxed(&wan.optical, &s.cut_fibers, &rwa))
+        .max_by_key(|lp| lp.model.num_cons())
+        .expect("non-empty scenario set");
+    assert!(!base.gamma_rows().is_empty(), "need gamma rows to patch");
+
+    let lanes = 7;
+    let models: Vec<arrow_lp::Model> = (0..lanes)
+        .map(|l| {
+            let mut m = base.model.clone();
+            for &row in base.gamma_rows() {
+                // Tighten each lane's restoration budget differently.
+                let cap = m.rhs(row);
+                m.set_rhs(row, (cap - l as f64).max(1.0));
+            }
+            m
+        })
+        .collect();
+
+    let cfg = SolverConfig::first_order(1e-7);
+    let batched = arrow_lp::solve_batch(&models, &cfg);
+    assert_eq!(batched.len(), lanes);
+    for (model, b) in models.iter().zip(&batched) {
+        assert_eq!(b.stats.lanes, lanes, "lane missed the shared panel");
+        assert_eq!(b.stats.backend, arrow_lp::BackendKind::Pdhg);
+        let seq = arrow_lp::solve(model, &cfg);
+        assert_eq!(seq.status, b.status);
+        assert_eq!(seq.objective.to_bits(), b.objective.to_bits());
+        for (xs, xb) in seq.x.iter().zip(&b.x) {
+            assert_eq!(xs.to_bits(), xb.to_bits());
+        }
+        for (ds, db) in seq.duals.iter().zip(&b.duals) {
+            assert_eq!(ds.to_bits(), db.to_bits());
+        }
+    }
+}
+
+fn small_universe() -> (Wan, arrow_topology::ScenarioUniverse) {
+    let wan = ibm(17);
+    let uni = compile_universe(
+        &wan,
+        &UniverseConfig {
+            max_k: 2,
+            cutoff: 1e-4,
+            auto_srlg_size: 3,
+            auto_srlg_probability: 1e-3,
+            max_scenarios: 10,
+            ..Default::default()
+        },
+    );
+    assert!(uni.len() >= 6, "universe too small: {}", uni.len());
+    (wan, uni)
+}
+
+/// Ticket digests are unchanged by batching: `batch_lanes: 16` (default),
+/// `batch_lanes: 1` (the PR 6 sequential path), and odd lane widths all
+/// produce byte-identical `TicketSet`s.
+#[test]
+fn ticket_digests_unchanged_by_batching() {
+    let (wan, uni) = small_universe();
+    let sequential = LotteryConfig { num_tickets: 6, batch_lanes: 1, ..Default::default() };
+    let (reference, _) = generate_tickets_universe(&wan, &uni, &sequential);
+    for lanes in [2usize, 3, 16] {
+        let cfg = LotteryConfig { batch_lanes: lanes, ..sequential.clone() };
+        let (set, _) = generate_tickets_universe(&wan, &uni, &cfg);
+        assert_eq!(set, reference, "TicketSet diverged at batch_lanes={lanes}");
+        assert_eq!(set.digest(), reference.digest(), "digest diverged at batch_lanes={lanes}");
+    }
+}
+
+/// Sharded generation with batching merges back to the sequential
+/// single-shard reference, byte for byte.
+#[test]
+fn batched_shards_merge_to_sequential_reference() {
+    let (wan, uni) = small_universe();
+    let sequential = LotteryConfig { num_tickets: 5, batch_lanes: 1, ..Default::default() };
+    let batched = LotteryConfig { batch_lanes: 4, ..sequential.clone() };
+    let (reference, _) = generate_tickets_universe(&wan, &uni, &sequential);
+    for of in [2usize, 3] {
+        let shards: Vec<TicketSet> = (0..of)
+            .map(|index| generate_tickets_shard(&wan, &uni, &batched, ShardSpec { index, of }).0)
+            .collect();
+        let merged = TicketSet::merge_all(shards).expect("honest shards must merge");
+        assert_eq!(merged, reference, "batched {of}-way shards diverged from sequential");
+        assert_eq!(merged.digest(), reference.digest());
+    }
+}
+
+/// A batch whose lanes include a zero-cut scenario (empty LP) solves
+/// cleanly and matches the sequential result.
+#[test]
+fn zero_cut_lane_in_batch_is_clean() {
+    let (wan, scens) = fixture(false);
+    let rwa = RwaConfig::default();
+    let cuts: Vec<&[_]> = vec![&[], scens[0].cut_fibers.as_slice()];
+    let sols = solve_relaxed_batch(&wan.optical, &cuts, &rwa);
+    assert_eq!(sols.len(), 2);
+    assert!(sols[0].links.is_empty());
+    assert_eq!(sols[0].total_wavelengths, 0.0);
+    let seq = solve_relaxed(&wan.optical, &scens[0].cut_fibers, &rwa);
+    assert_eq!(format!("{seq:?}"), format!("{:?}", sols[1]));
+}
+
+/// Pinning the PDHG backend end-to-end through ticket generation still
+/// yields identical digests batched vs sequential — the strongest form of
+/// the contract, since the panel kernel (not the simplex fallback) carries
+/// the scenario LPs.
+#[test]
+fn pdhg_pinned_pipeline_digests_match() {
+    let (wan, uni) = small_universe();
+    let base = LotteryConfig {
+        num_tickets: 4,
+        rwa: RwaConfig {
+            solver: SolverConfig { backend: Backend::Pdhg, ..SolverConfig::default() },
+            allow_modulation_change: true,
+            ..RwaConfig::default()
+        },
+        ..Default::default()
+    };
+    let sequential = LotteryConfig { batch_lanes: 1, ..base.clone() };
+    let batched = LotteryConfig { batch_lanes: 8, ..base };
+    let (a, _) = generate_tickets_universe(&wan, &uni, &sequential);
+    let (b, _) = generate_tickets_universe(&wan, &uni, &batched);
+    assert_eq!(a, b, "PDHG-pinned pipeline diverged under batching");
+    assert_eq!(a.digest(), b.digest());
+}

@@ -1,0 +1,251 @@
+//! Multi-RHS LP batching: one shared sparsity pattern, many data lanes.
+//!
+//! ARROW's offline stage solves one relaxed RWA LP per failure scenario —
+//! thousands of solves whose matrices often coincide while only the
+//! right-hand sides, bounds, and objectives differ. A [`BatchedModel`]
+//! packs such a family into a struct-of-arrays *panel*: the constraint
+//! matrix and row senses are stored once, and the per-lane vectors are laid
+//! out contiguously so a solver can sweep the matrix nonzeros a single time
+//! per iteration while updating every lane ([`crate::pdhg::solve_batch`]).
+//!
+//! A batch is invalidated by anything that changes the shared structure:
+//! adding/removing variables or constraints, changing a coefficient, or
+//! flipping a row sense. Per-lane RHS/bound/objective edits never
+//! invalidate it — that is the whole point.
+
+use crate::model::{Model, Sense, StandardLp};
+use crate::sparse::CsrMatrix;
+
+/// Why a [`BatchedModel`] could not be assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// No lanes were supplied.
+    Empty,
+    /// The given lane's matrix or senses differ from lane 0's.
+    StructureMismatch {
+        /// Index of the offending lane.
+        lane: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Empty => write!(f, "batch has no lanes"),
+            BatchError::StructureMismatch { lane } => {
+                write!(f, "lane {lane} does not share lane 0's constraint structure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A panel of LPs sharing one constraint matrix and row senses, differing
+/// only in per-lane right-hand sides, variable bounds, and objectives.
+///
+/// Panels are lane-major: lane `l`'s RHS occupies `rhs[l*m .. (l+1)*m]`
+/// (likewise bounds/objective with stride `n`), so [`BatchedModel::lane`]
+/// hands out plain slices and [`BatchedModel::lane_standard`] can
+/// reconstitute any lane as a standalone [`StandardLp`].
+#[derive(Debug, Clone)]
+pub struct BatchedModel {
+    a: CsrMatrix,
+    senses: Vec<Sense>,
+    lanes: usize,
+    rhs: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    obj: Vec<f64>,
+    obj_offset: Vec<f64>,
+    obj_sign: Vec<f64>,
+}
+
+/// Borrowed view of one lane's data within a [`BatchedModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneView<'a> {
+    /// Row right-hand sides.
+    pub rhs: &'a [f64],
+    /// Variable lower bounds.
+    pub lb: &'a [f64],
+    /// Variable upper bounds.
+    pub ub: &'a [f64],
+    /// Minimization objective coefficients.
+    pub obj: &'a [f64],
+    /// Constant added to the minimization objective.
+    pub obj_offset: f64,
+    /// `1.0` if the lane's model minimized, `-1.0` if it maximized.
+    pub obj_sign: f64,
+}
+
+impl BatchedModel {
+    /// Assembles a batch from standard-form LPs that all share lane 0's
+    /// constraint matrix and senses ([`StandardLp::same_structure`]).
+    pub fn from_standard(lps: &[StandardLp]) -> Result<Self, BatchError> {
+        let Some(first) = lps.first() else {
+            return Err(BatchError::Empty);
+        };
+        for (l, lp) in lps.iter().enumerate().skip(1) {
+            if !lp.same_structure(first) {
+                return Err(BatchError::StructureMismatch { lane: l });
+            }
+        }
+        let lanes = lps.len();
+        let m = first.num_cons();
+        let n = first.num_vars();
+        let mut batch = BatchedModel {
+            a: first.a.clone(),
+            senses: first.senses.clone(),
+            lanes,
+            rhs: Vec::with_capacity(lanes * m),
+            lb: Vec::with_capacity(lanes * n),
+            ub: Vec::with_capacity(lanes * n),
+            obj: Vec::with_capacity(lanes * n),
+            obj_offset: Vec::with_capacity(lanes),
+            obj_sign: Vec::with_capacity(lanes),
+        };
+        for lp in lps {
+            batch.rhs.extend_from_slice(&lp.rhs);
+            batch.lb.extend_from_slice(&lp.lb);
+            batch.ub.extend_from_slice(&lp.ub);
+            batch.obj.extend_from_slice(&lp.obj);
+            batch.obj_offset.push(lp.obj_offset);
+            batch.obj_sign.push(lp.obj_sign);
+        }
+        Ok(batch)
+    }
+
+    /// [`BatchedModel::from_standard`] over models lowered with
+    /// [`Model::to_standard`]. Integer markers are ignored, exactly as the
+    /// continuous backends ignore them on the sequential path.
+    pub fn from_models(models: &[Model]) -> Result<Self, BatchError> {
+        let lps: Vec<StandardLp> = models.iter().map(|m| m.to_standard()).collect();
+        Self::from_standard(&lps)
+    }
+
+    /// Number of lanes in the panel.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Shared constraint-row count.
+    pub fn num_cons(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Shared variable count.
+    pub fn num_vars(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Shared nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.a.nnz()
+    }
+
+    /// The shared constraint matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// The shared row senses.
+    pub fn senses(&self) -> &[Sense] {
+        &self.senses
+    }
+
+    /// Borrowed view of lane `l`'s data.
+    pub fn lane(&self, l: usize) -> LaneView<'_> {
+        let m = self.num_cons();
+        let n = self.num_vars();
+        LaneView {
+            rhs: &self.rhs[l * m..(l + 1) * m],
+            lb: &self.lb[l * n..(l + 1) * n],
+            ub: &self.ub[l * n..(l + 1) * n],
+            obj: &self.obj[l * n..(l + 1) * n],
+            obj_offset: self.obj_offset[l],
+            obj_sign: self.obj_sign[l],
+        }
+    }
+
+    /// Reconstitutes lane `l` as a standalone [`StandardLp`] (clones the
+    /// shared structure; used for per-lane delegation and tests).
+    pub fn lane_standard(&self, l: usize) -> StandardLp {
+        let lane = self.lane(l);
+        StandardLp {
+            a: self.a.clone(),
+            senses: self.senses.clone(),
+            rhs: lane.rhs.to_vec(),
+            lb: lane.lb.to_vec(),
+            ub: lane.ub.to_vec(),
+            obj: lane.obj.to_vec(),
+            obj_offset: lane.obj_offset,
+            obj_sign: lane.obj_sign,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Objective};
+
+    fn family(rhs: &[f64]) -> Vec<Model> {
+        rhs.iter()
+            .map(|&r| {
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 4.0, "x");
+                let y = m.add_nonneg("y");
+                m.add_con(LinExpr::new().add(x, 1.0).add(y, 1.0), Sense::Le, r, "cap");
+                m.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        assert_eq!(BatchedModel::from_standard(&[]).unwrap_err(), BatchError::Empty);
+    }
+
+    #[test]
+    fn mismatched_lane_is_reported_by_index() {
+        let mut models = family(&[6.0, 7.0]);
+        // Lane 2 gets a different coefficient: structure mismatch.
+        let mut odd = Model::new();
+        let x = odd.add_var(0.0, 4.0, "x");
+        let y = odd.add_nonneg("y");
+        odd.add_con(LinExpr::new().add(x, 2.0).add(y, 1.0), Sense::Le, 6.0, "cap");
+        odd.set_objective(LinExpr::new().add(x, 2.0).add(y, 1.0), Objective::Maximize);
+        models.push(odd);
+        let err = BatchedModel::from_models(&models).unwrap_err();
+        assert_eq!(err, BatchError::StructureMismatch { lane: 2 });
+    }
+
+    #[test]
+    fn lane_standard_roundtrips_each_lane() {
+        let models = family(&[6.0, 9.0, 3.0]);
+        let batch = BatchedModel::from_models(&models).expect("same structure");
+        assert_eq!(batch.num_lanes(), 3);
+        assert_eq!(batch.num_cons(), 1);
+        assert_eq!(batch.num_vars(), 2);
+        for (l, model) in models.iter().enumerate() {
+            let direct = model.to_standard();
+            let lane = batch.lane_standard(l);
+            assert!(lane.same_structure(&direct));
+            assert_eq!(lane.rhs, direct.rhs);
+            assert_eq!(lane.lb, direct.lb);
+            assert_eq!(lane.ub, direct.ub);
+            assert_eq!(lane.obj, direct.obj);
+            assert_eq!(lane.obj_sign, direct.obj_sign);
+        }
+    }
+
+    #[test]
+    fn structure_digest_agrees_with_same_structure() {
+        let models = family(&[6.0, 9.0]);
+        let a = models[0].to_standard();
+        let b = models[1].to_standard();
+        assert!(a.same_structure(&b));
+        assert_eq!(a.structure_digest(), b.structure_digest());
+    }
+}

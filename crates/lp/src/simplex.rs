@@ -533,7 +533,10 @@ impl<'a> Simplex<'a> {
                         -1.0
                     }
                 }
-                VarState::Basic(_) => unreachable!(),
+                // Basic columns are skipped during pricing; seeing one here
+                // means the state bookkeeping is corrupt. Surface it as a
+                // recorded solver failure instead of tearing the process down.
+                VarState::Basic(_) => return PhaseEnd::Stalled,
             };
             self.compute_direction(j_enter);
             // --- Ratio test. ---
