@@ -154,18 +154,31 @@ impl EpochMetrics {
             self.cold.inc();
         }
         self.seconds.observe(seconds);
+        // Feed the SLO engine: did this epoch make its deadline budget
+        // (ARROW §5's five-minute TE epoch by default)? Misses are
+        // counted, quantiles and error-budget burn updated, and a warn
+        // event emitted on a miss.
+        arrow_obs::slo::record_epoch(seconds);
     }
 }
 
 fn epoch_metrics() -> &'static EpochMetrics {
     static METRICS: std::sync::OnceLock<EpochMetrics> = std::sync::OnceLock::new();
-    METRICS.get_or_init(|| EpochMetrics {
-        cold: arrow_obs::metrics::counter("epoch.cold"),
-        warm: arrow_obs::metrics::counter("epoch.warm"),
-        seconds: arrow_obs::metrics::histogram(
+    METRICS.get_or_init(|| {
+        arrow_obs::metrics::describe("epoch.cold", "cold-start TE epochs planned");
+        arrow_obs::metrics::describe("epoch.warm", "warm-start TE epochs planned");
+        arrow_obs::metrics::describe(
             "epoch.seconds",
-            &[1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0],
-        ),
+            "wall-clock seconds per online TE epoch (plan or plan_warm)",
+        );
+        EpochMetrics {
+            cold: arrow_obs::metrics::counter("epoch.cold"),
+            warm: arrow_obs::metrics::counter("epoch.warm"),
+            seconds: arrow_obs::metrics::histogram(
+                "epoch.seconds",
+                &[1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0],
+            ),
+        }
     })
 }
 

@@ -93,6 +93,7 @@ pub fn solve_with(model: &Model, cfg: &SolverConfig, warm: Option<&WarmStart>) -
         "rows" => model.num_cons(),
         "cols" => model.num_vars(),
         "warm" => warm.is_some(),
+        "backend" => backend_label(model, cfg),
     );
     let sol = solve_timed(model, cfg, warm, None);
     lp_metrics().record(&sol.stats);
@@ -187,6 +188,20 @@ fn lp_metrics() -> &'static LpMetrics {
         batch_lanes: arrow_obs::metrics::counter("lp.batch.lanes"),
         batch_groups: arrow_obs::metrics::counter("lp.batch.groups"),
     })
+}
+
+/// The backend label a solve of `model` under `cfg` will use, for span
+/// attribution (`lp.solve{backend=...}`): branch & bound for integer
+/// models, otherwise the resolved [`Backend`].
+fn backend_label(model: &Model, cfg: &SolverConfig) -> &'static str {
+    if model.num_int_vars() > 0 {
+        return "milp";
+    }
+    match concrete_backend(cfg, model.num_cons()) {
+        Backend::Simplex => "simplex",
+        Backend::Pdhg => "pdhg",
+        Backend::Auto => "auto",
+    }
 }
 
 /// Resolves [`Backend::Auto`] by row count; pinned backends pass through.
@@ -294,7 +309,11 @@ pub fn solve_batch(models: &[Model], cfg: &SolverConfig) -> Vec<Solution> {
     if models.is_empty() {
         return Vec::new();
     }
-    let _span = arrow_obs::span!("lp.solve_batch", "lanes" => models.len());
+    let _span = arrow_obs::span!(
+        "lp.solve_batch",
+        "lanes" => models.len(),
+        "backend" => models.first().map_or("none", |m| backend_label(m, cfg)),
+    );
     // arrow-lint: allow(wall-clock-in-core) — batch wall time feeds the latency histogram; never branches on elapsed time
     let start = std::time::Instant::now();
     // Lower continuous, non-presolve lanes to standard form for grouping;

@@ -1,0 +1,90 @@
+//! `arrow-bench-gate` — the CI bench regression gate.
+//!
+//! Diffs the current `BENCH_*.json` sweep artifacts against the committed
+//! baseline (`baselines/bench-gate.json`) under noise-aware relative
+//! thresholds, and exits non-zero on any regression so CI can block the
+//! merge. `--update` ratchets the baseline: improvements tighten it,
+//! regressions never loosen it silently.
+//!
+//! ```text
+//! arrow-bench-gate --check  [--artifacts DIR] [--baseline FILE] [--report FILE]
+//! arrow-bench-gate --update [--artifacts DIR] [--baseline FILE] [--report FILE]
+//! ```
+//!
+//! Defaults: artifacts from the current directory, baseline at
+//! `baselines/bench-gate.json`, report to `bench-gate-report.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use arrow_obs::gate::{self, GateMode};
+
+struct Args {
+    mode: GateMode,
+    artifacts: PathBuf,
+    baseline: PathBuf,
+    report: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: arrow-bench-gate (--check | --update) \
+     [--artifacts DIR] [--baseline FILE] [--report FILE]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = None;
+    let mut artifacts = PathBuf::from(".");
+    let mut baseline = PathBuf::from("baselines/bench-gate.json");
+    let mut report = PathBuf::from("bench-gate-report.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => mode = Some(GateMode::Check),
+            "--update" => mode = Some(GateMode::Update),
+            "--artifacts" => {
+                artifacts = PathBuf::from(argv.next().ok_or("--artifacts needs a value")?);
+            }
+            "--baseline" => {
+                baseline = PathBuf::from(argv.next().ok_or("--baseline needs a value")?);
+            }
+            "--report" => {
+                report = PathBuf::from(argv.next().ok_or("--report needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    let mode = mode.ok_or_else(|| format!("pick --check or --update\n{}", usage()))?;
+    Ok(Args { mode, artifacts, baseline, report })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs = gate::default_specs();
+    let report = match gate::run(&args.artifacts, &args.baseline, &specs, args.mode) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("arrow-bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.to_table());
+    if let Err(e) = std::fs::write(&args.report, report.to_json()) {
+        eprintln!("arrow-bench-gate: could not write report {}: {e}", args.report.display());
+        return ExitCode::from(2);
+    }
+    if report.failed() && args.mode == GateMode::Check {
+        eprintln!(
+            "arrow-bench-gate: FAILED — see {} (re-baseline intentional changes with --update)",
+            args.report.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,270 @@
+//! A zero-dependency telemetry HTTP listener: `/metrics`,
+//! `/snapshot.json`, `/healthz`.
+//!
+//! ARROW's online stage is a long-lived epoch loop (ROADMAP item 3), and a
+//! long-lived process needs its telemetry *served*, not dumped at exit.
+//! This module is a deliberately small, GET-only HTTP/1.1 listener
+//! hand-rolled over [`std::net::TcpListener`] — no async runtime, no
+//! hyper, in keeping with the workspace's no-external-deps rule. Any
+//! binary can call [`spawn`] to serve the process-global metrics registry:
+//!
+//! * `GET /metrics` — Prometheus text exposition
+//!   ([`crate::metrics::Snapshot::to_prometheus`]);
+//! * `GET /snapshot.json` — the JSON snapshot
+//!   ([`crate::metrics::Snapshot::to_json`]);
+//! * `GET /healthz` — `ok`, for liveness probes.
+//!
+//! Anything else is `404`; non-GET methods are `405`. Requests are served
+//! sequentially on one background thread (scrapes are rare and the
+//! snapshot is cheap); each connection gets a short read timeout so a
+//! stalled client cannot wedge the exporter. [`ExportHandle::shutdown`]
+//! stops the thread deterministically; dropping the handle does the same.
+//!
+//! Deliberately omitted: TLS, authentication, POST/pushgateway flows,
+//! HTTP keep-alive, and request routing beyond the three fixed paths.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::metrics;
+
+/// Per-connection socket timeout: a scrape that cannot send its request
+/// line (or drain the response) within this window is dropped.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Maximum request head we are willing to buffer before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+struct ExportMetrics {
+    requests: metrics::Counter,
+    errors: metrics::Counter,
+}
+
+fn export_metrics() -> &'static ExportMetrics {
+    static METRICS: OnceLock<ExportMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ExportMetrics {
+        requests: metrics::counter("obs.export.requests"),
+        errors: metrics::counter("obs.export.errors"),
+    })
+}
+
+/// A running exporter. Keep it alive for as long as the endpoints should
+/// be served; [`ExportHandle::shutdown`] (or drop) stops the listener
+/// thread and joins it.
+#[derive(Debug)]
+pub struct ExportHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExportHandle {
+    /// The address actually bound (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            // The accept loop may be blocked; poke it with one throwaway
+            // connection so it observes the stop flag promptly.
+            let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ExportHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// the metrics endpoints from a background thread until the returned
+/// handle is shut down or dropped.
+pub fn spawn(addr: impl ToSocketAddrs) -> std::io::Result<ExportHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("arrow-obs-export".to_string())
+        .spawn(move || serve(listener, &stop_flag))?;
+    crate::event!("obs.export.listening", "addr" => bound.to_string());
+    Ok(ExportHandle { addr: bound, stop, thread: Some(thread) })
+}
+
+fn serve(listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match conn {
+            Ok(stream) => {
+                if handle_connection(stream).is_err() {
+                    export_metrics().errors.inc();
+                }
+            }
+            Err(_) => export_metrics().errors.inc(),
+        }
+    }
+}
+
+/// Reads the request head (up to the blank line or [`MAX_REQUEST_BYTES`])
+/// and writes exactly one response.
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let (status, content_type, body) = respond(&head);
+    export_metrics().requests.inc();
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Routes one request head to `(status line, content type, body)`.
+fn respond(head: &[u8]) -> (&'static str, &'static str, String) {
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .and_then(|l| std::str::from_utf8(l).ok())
+        .unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Scrapers may append query strings (`/metrics?format=...`); route on
+    // the path component only.
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string());
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            // The Prometheus text exposition content type (v0.0.4).
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics::snapshot().to_prometheus(),
+        ),
+        "/snapshot.json" => {
+            ("200 OK", "application/json; charset=utf-8", metrics::snapshot().to_json())
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "endpoints: /metrics /snapshot.json /healthz\n".to_string(),
+        ),
+    }
+}
+
+/// A blocking, `curl`-equivalent GET against `addr`, returning the raw
+/// HTTP response as a string. Used by sweeps and tests to exercise the
+/// exporter over a real socket without shelling out.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body_of(response: &str) -> &str {
+        response.split("\r\n\r\n").nth(1).unwrap_or("")
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_health() {
+        metrics::counter("test.export.hits").add(3);
+        let mut handle = spawn("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = handle.local_addr();
+
+        let health = http_get(addr, "/healthz").expect("GET /healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert_eq!(body_of(&health), "ok\n");
+
+        let prom = http_get(addr, "/metrics").expect("GET /metrics");
+        assert!(prom.starts_with("HTTP/1.1 200 OK"));
+        assert!(prom.contains("text/plain; version=0.0.4"));
+        assert!(body_of(&prom).contains("test_export_hits 3"), "{prom}");
+
+        let snap = http_get(addr, "/snapshot.json").expect("GET /snapshot.json");
+        assert!(snap.contains("application/json"));
+        let doc = crate::json::parse(body_of(&snap)).expect("snapshot body is valid JSON");
+        assert!(
+            doc.get("counters").and_then(|c| c.get("test.export.hits")).is_some(),
+            "snapshot carries the counter"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_404_and_non_get_405() {
+        let handle = spawn("127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        let missing = http_get(addr, "/nope").expect("GET /nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn query_strings_route_on_path_only() {
+        let handle = spawn("127.0.0.1:0").expect("bind");
+        let ok = http_get(handle.local_addr(), "/metrics?format=prometheus").expect("GET");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut handle = spawn("127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        handle.shutdown();
+        handle.shutdown();
+        // The listener is gone: a rebind on the same port must succeed.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn exporter_counts_requests() {
+        let before = metrics::snapshot().counter("obs.export.requests");
+        let handle = spawn("127.0.0.1:0").expect("bind");
+        let _ = http_get(handle.local_addr(), "/healthz").expect("GET");
+        let _ = http_get(handle.local_addr(), "/metrics").expect("GET");
+        assert!(metrics::snapshot().counter("obs.export.requests") >= before + 2);
+    }
+}

@@ -22,6 +22,21 @@
 //! buffer, for tests and sweeps), and [`trace::FanoutSubscriber`]
 //! (broadcast to several).
 //!
+//! On top of the two halves sits the **telemetry plane**:
+//!
+//! * [`export`] — a zero-dependency HTTP listener serving `/metrics`
+//!   (Prometheus text), `/snapshot.json`, and `/healthz` from any binary;
+//! * [`slo`] — the epoch-deadline SLO engine (deadline-miss counters,
+//!   rolling p50/p99, error-budget burn rate), fed by the controller once
+//!   per epoch;
+//! * [`analyze`] — span-tree reconstruction from trace records: per-stage
+//!   self-time attribution, the critical path through an epoch, and
+//!   flamegraph-compatible collapsed stacks;
+//! * [`gate`] — the bench regression gate behind the `arrow-bench-gate`
+//!   binary, diffing `BENCH_*.json` artifacts against a committed,
+//!   ratcheted baseline;
+//! * [`json`] — the minimal std-only JSON parser the above share.
+//!
 //! Deliberately omitted, in the spirit of the repo's synchronous CPU-bound
 //! design: no async integration, no sampling, no per-record levels beyond
 //! info/warn, no cross-thread span parentage (a span opened on a worker
@@ -57,10 +72,18 @@
 #![cfg_attr(not(test), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod export;
+pub mod gate;
+pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
+pub use analyze::{CriticalHop, SpanNode, SpanTree, StageStat};
+pub use export::{http_get, ExportHandle};
 pub use metrics::{Counter, Gauge, Histogram, Snapshot};
+pub use slo::{EpochVerdict, SloConfig};
 pub use trace::{
     FanoutSubscriber, FieldValue, FileSubscriber, Level, Record, RecordKind, RingSubscriber,
     SpanGuard, Subscriber,

@@ -208,61 +208,111 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
     REG.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// Locks the registry, recovering from poisoning: the map's invariants
+/// hold after any partial mutation (entries are inserted atomically via
+/// `entry().or_insert_with`), so a panic elsewhere must not take the
+/// telemetry plane down with it.
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    registry().lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 fn register(name: &'static str, make: impl FnOnce() -> Metric) -> Metric {
-    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let mut reg = lock_registry();
     let entry = reg.entry(name).or_insert_with(make);
     entry.clone()
 }
 
+/// Counts kind-clash registrations (see [`kind_clash`]); also the one name
+/// that must not recurse into itself from the clash path.
+const KIND_CLASH_COUNTER: &str = "obs.metrics.kind_clash";
+
+/// A name was re-registered as a different metric kind. Telemetry must
+/// never panic the process it observes, so this records the clash (warn
+/// event + counter) and the caller hands back a *detached* metric: a live
+/// handle of the requested kind that is not in the registry, so updates
+/// through it are accepted but invisible to snapshots.
+fn kind_clash(name: &'static str, existing: &'static str, requested: &'static str) {
+    if name != KIND_CLASH_COUNTER {
+        counter(KIND_CLASH_COUNTER).inc();
+    }
+    crate::event!(
+        warn: "obs.metrics.kind_clash",
+        "name" => name,
+        "existing" => existing,
+        "requested" => requested
+    );
+}
+
 /// Returns the counter registered under `name`, creating it on first use.
 ///
-/// # Panics
-/// Panics if `name` is already registered as a different metric kind.
+/// If `name` is already registered as a different kind, the clash is
+/// recorded (`obs.metrics.kind_clash` counter plus a warn event) and a
+/// detached counter is returned — live, but excluded from snapshots.
 pub fn counter(name: &'static str) -> Counter {
     match register(name, || Metric::Counter(Counter { cell: Arc::new(AtomicU64::new(0)) })) {
         Metric::Counter(c) => c,
-        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        other => {
+            kind_clash(name, other.kind(), "counter");
+            Counter { cell: Arc::new(AtomicU64::new(0)) }
+        }
     }
 }
 
 /// Returns the gauge registered under `name`, creating it on first use.
 ///
-/// # Panics
-/// Panics if `name` is already registered as a different metric kind.
+/// If `name` is already registered as a different kind, the clash is
+/// recorded (`obs.metrics.kind_clash` counter plus a warn event) and a
+/// detached gauge is returned — live, but excluded from snapshots.
 pub fn gauge(name: &'static str) -> Gauge {
     match register(name, || Metric::Gauge(Gauge { bits: Arc::new(AtomicU64::new(0)) })) {
         Metric::Gauge(g) => g,
-        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        other => {
+            kind_clash(name, other.kind(), "gauge");
+            Gauge { bits: Arc::new(AtomicU64::new(0)) }
+        }
     }
 }
+
+fn make_histogram(bounds: &[f64]) -> Histogram {
+    let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+    Histogram {
+        inner: Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }),
+    }
+}
+
+/// Fallback bounds when a histogram is registered with an unusable bound
+/// list: decade buckets wide enough for any duration-like metric.
+const DEFAULT_BOUNDS: &[f64] = &[1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3];
 
 /// Returns the histogram registered under `name`, creating it with the
 /// given finite bucket upper bounds on first use (later registrations keep
 /// the first bounds).
 ///
-/// # Panics
-/// Panics if `bounds` is empty or not strictly increasing on first
-/// registration, or if `name` is already registered as a different kind.
+/// Bounds must be finite and strictly increasing; an unusable bound list
+/// is replaced by decade buckets and recorded as a warn event rather than
+/// panicking. A kind clash is handled like [`counter`]: recorded, and a
+/// detached histogram is returned.
 pub fn histogram(name: &'static str, bounds: &[f64]) -> Histogram {
+    let usable = !bounds.is_empty()
+        && bounds.windows(2).all(|w| w[0] < w[1])
+        && bounds.iter().all(|b| b.is_finite());
     let made = register(name, || {
-        assert!(!bounds.is_empty(), "histogram {name:?} needs at least one bucket bound");
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
-            "histogram {name:?} bounds must be finite and strictly increasing"
-        );
-        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
-        Metric::Histogram(Histogram {
-            inner: Arc::new(HistogramInner {
-                bounds: bounds.to_vec(),
-                buckets,
-                count: AtomicU64::new(0),
-                sum_bits: AtomicU64::new(0),
-            }),
-        })
+        if !usable {
+            crate::event!(warn: "obs.metrics.bad_bounds", "name" => name);
+        }
+        Metric::Histogram(make_histogram(if usable { bounds } else { DEFAULT_BOUNDS }))
     });
     match made {
         Metric::Histogram(h) => h,
-        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        other => {
+            kind_clash(name, other.kind(), "histogram");
+            make_histogram(if usable { bounds } else { DEFAULT_BOUNDS })
+        }
     }
 }
 
@@ -270,7 +320,7 @@ pub fn histogram(name: &'static str, bounds: &[f64]) -> Histogram {
 /// start of an example or test run; concurrent updates during the reset
 /// land before or after it, never half-applied per metric value.
 pub fn reset() {
-    let reg = registry().lock().expect("metrics registry poisoned");
+    let reg = lock_registry();
     for m in reg.values() {
         match m {
             Metric::Counter(c) => c.cell.store(0, Ordering::Relaxed),
@@ -312,7 +362,7 @@ pub struct Snapshot {
 
 /// Takes a snapshot of every registered metric.
 pub fn snapshot() -> Snapshot {
-    let reg = registry().lock().expect("metrics registry poisoned");
+    let reg = lock_registry();
     let mut snap = Snapshot::default();
     for (&name, m) in reg.iter() {
         match m {
@@ -389,32 +439,102 @@ impl Snapshot {
     }
 
     /// Serializes the snapshot in the Prometheus text exposition format
-    /// (metric names sanitized: `.` and `-` become `_`).
+    /// (v0.0.4): `# HELP` and `# TYPE` per family, sanitized names, and
+    /// canonical cumulative `le` buckets ending in `+Inf`.
     pub fn to_prometheus(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            name.replace(['.', '-'], "_")
-        }
         let mut s = String::new();
         for (name, v) in &self.counters {
-            let n = sanitize(name);
+            let n = sanitize_metric_name(name);
+            s.push_str(&format!("# HELP {n} {}\n", help_line(name, "counter")));
             s.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
         }
         for (name, v) in &self.gauges {
-            let n = sanitize(name);
-            s.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+            let n = sanitize_metric_name(name);
+            s.push_str(&format!("# HELP {n} {}\n", help_line(name, "gauge")));
+            s.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_f64(*v)));
         }
         for (name, h) in &self.histograms {
-            let n = sanitize(name);
+            let n = sanitize_metric_name(name);
+            s.push_str(&format!("# HELP {n} {}\n", help_line(name, "histogram")));
             s.push_str(&format!("# TYPE {n} histogram\n"));
             let mut cum = 0u64;
             for (j, &c) in h.buckets.iter().enumerate() {
                 cum += c;
-                let le = h.bounds.get(j).map_or("+Inf".to_string(), |b| format!("{b}"));
+                let le = h.bounds.get(j).map_or("+Inf".to_string(), |b| prom_le(*b));
                 s.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
             }
-            s.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+            s.push_str(&format!("{n}_sum {}\n{n}_count {}\n", prom_f64(h.sum), h.count));
         }
         s
+    }
+}
+
+/// Sanitizes a registry name into a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. `.` and `-` (our namespace separators)
+/// become `_`, as does any other illegal character; a leading digit gets
+/// a `_` prefix. Idempotent: sanitizing a sanitized name is a no-op.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal = c.is_ascii_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit();
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Canonical `le` label value for a finite bucket bound: shortest-roundtrip
+/// float formatting, with integral bounds keeping a `.0` so `1.0` and a
+/// hypothetical integer-valued series stay distinct (matches the common
+/// client-library convention).
+fn prom_le(bound: f64) -> String {
+    if bound == bound.trunc() && bound.abs() < 1e15 {
+        format!("{bound:.1}")
+    } else {
+        format!("{bound}")
+    }
+}
+
+/// Prometheus sample value formatting: `NaN`/`+Inf`/`-Inf` spellings for
+/// non-finite values instead of JSON's `null`.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Registered help texts for `# HELP` lines, keyed by the *unsanitized*
+/// registry name.
+fn help_registry() -> &'static Mutex<BTreeMap<&'static str, &'static str>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Attaches a help text to `name`, shown as the `# HELP` line in
+/// [`Snapshot::to_prometheus`]. Last call wins; metrics without a
+/// registered help fall back to a generic description.
+pub fn describe(name: &'static str, help: &'static str) {
+    help_registry().lock().unwrap_or_else(|p| p.into_inner()).insert(name, help);
+}
+
+/// The `# HELP` payload for `name`: the registered description (escaped
+/// per the exposition format: `\` and newline) or a generic fallback.
+fn help_line(name: &str, kind: &str) -> String {
+    let reg = help_registry().lock().unwrap_or_else(|p| p.into_inner());
+    match reg.get(name) {
+        Some(help) => help.replace('\\', "\\\\").replace('\n', "\\n"),
+        None => format!("arrow-obs {kind} {name}"),
     }
 }
 
@@ -445,10 +565,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
-        let _ = counter("test.metrics.kind_clash");
-        let _ = gauge("test.metrics.kind_clash");
+    fn kind_mismatch_returns_detached_handle() {
+        let c = counter("test.metrics.kind_clash");
+        c.add(7);
+        let clashes_before = snapshot().counter("obs.metrics.kind_clash");
+        // Same name, wrong kind: no panic, a live-but-detached gauge.
+        let g = gauge("test.metrics.kind_clash");
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25, "detached handle still works locally");
+        // The registry still holds the original counter, untouched.
+        assert_eq!(snapshot().counter("test.metrics.kind_clash"), 7);
+        assert_eq!(snapshot().gauge("test.metrics.kind_clash"), None);
+        // And the clash itself was counted.
+        assert_eq!(snapshot().counter("obs.metrics.kind_clash"), clashes_before + 1);
+    }
+
+    #[test]
+    fn bad_histogram_bounds_fall_back_to_decades() {
+        // Not strictly increasing: unusable, replaced by decade buckets.
+        let h = histogram("test.metrics.bad_bounds", &[5.0, 1.0]);
+        assert_eq!(h.bounds(), DEFAULT_BOUNDS);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]
@@ -554,5 +692,85 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_end_at_inf() {
+        let h = histogram("test.metrics.prom_hist", &[0.01, 0.1, 1.0, 10.0]);
+        for v in [0.005, 0.05, 0.05, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let prom = snapshot().to_prometheus();
+        let buckets: Vec<(String, u64)> = prom
+            .lines()
+            .filter(|l| l.starts_with("test_metrics_prom_hist_bucket{"))
+            .map(|l| {
+                let le = l.split("le=\"").nth(1).and_then(|r| r.split('"').next());
+                let count = l.rsplit(' ').next().and_then(|c| c.parse().ok());
+                (le.expect("le label").to_string(), count.expect("bucket count"))
+            })
+            .collect();
+        // One series per finite bound plus the terminal +Inf bucket.
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(buckets.last().map(|(le, _)| le.as_str()), Some("+Inf"));
+        // Canonical le formatting: shortest round-trip, integral keeps .0.
+        let les: Vec<&str> = buckets.iter().map(|(le, _)| le.as_str()).collect();
+        assert_eq!(les, ["0.01", "0.1", "1.0", "10.0", "+Inf"]);
+        // Cumulative and monotone non-decreasing, +Inf equals _count.
+        let counts: Vec<u64> = buckets.iter().map(|(_, c)| *c).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "not monotone: {counts:?}");
+        assert_eq!(counts, [1, 3, 4, 5, 6]);
+        assert!(prom.contains("test_metrics_prom_hist_count 6"));
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_every_family() {
+        describe("test.metrics.helped", "observed widget total");
+        counter("test.metrics.helped").inc();
+        counter("test.metrics.unhelped").inc();
+        let prom = snapshot().to_prometheus();
+        assert!(prom.contains("# HELP test_metrics_helped observed widget total\n"));
+        // Undescribed metrics still get a generic HELP line.
+        assert!(prom.contains("# HELP test_metrics_unhelped arrow-obs counter"));
+        // HELP always directly precedes TYPE for the same family.
+        for (i, line) in prom.lines().collect::<Vec<_>>().windows(2).enumerate() {
+            let _ = i;
+            if line[1].starts_with("# TYPE ") {
+                let family = line[1].split_ascii_whitespace().nth(2).unwrap_or("");
+                assert!(
+                    line[0].starts_with(&format!("# HELP {family} ")),
+                    "TYPE for {family} not preceded by its HELP: {:?}",
+                    line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metric_name_sanitization_round_trips() {
+        assert_eq!(sanitize_metric_name("epoch.seconds"), "epoch_seconds");
+        assert_eq!(sanitize_metric_name("lp.solve-batch.lanes"), "lp_solve_batch_lanes");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("weird name+unit"), "weird_name_unit");
+        // Idempotent: a sanitized name survives a second pass unchanged.
+        for name in ["epoch.seconds", "a-b.c", "9x", "ok_name:sub"] {
+            let once = sanitize_metric_name(name);
+            assert_eq!(sanitize_metric_name(&once), once, "not idempotent for {name:?}");
+            // And is a legal Prometheus name.
+            let mut chars = once.chars();
+            let first = chars.next().expect("non-empty");
+            assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+        }
+    }
+
+    #[test]
+    fn prometheus_nonfinite_values_use_exposition_spellings() {
+        gauge("test.metrics.inf_gauge").set(f64::INFINITY);
+        let prom = snapshot().to_prometheus();
+        assert!(prom.contains("test_metrics_inf_gauge +Inf"));
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        gauge("test.metrics.inf_gauge").set(0.0);
     }
 }

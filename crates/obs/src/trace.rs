@@ -252,14 +252,14 @@ pub fn enabled() -> bool {
 /// Installs `sub` as the process-global subscriber, replacing any previous
 /// one, and turns tracing on.
 pub fn install(sub: Arc<dyn Subscriber>) {
-    *subscriber_slot().write().expect("trace subscriber poisoned") = Some(sub);
+    *subscriber_slot().write().unwrap_or_else(|p| p.into_inner()) = Some(sub);
     ENABLED.store(true, Ordering::Release);
 }
 
 /// Turns tracing off and drops the installed subscriber, if any.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Release);
-    *subscriber_slot().write().expect("trace subscriber poisoned") = None;
+    *subscriber_slot().write().unwrap_or_else(|p| p.into_inner()) = None;
 }
 
 /// Monotonic process trace epoch (set at the first timestamped record).
@@ -292,7 +292,7 @@ fn thread_id() -> u64 {
 }
 
 fn dispatch(record: &Record) {
-    if let Some(sub) = subscriber_slot().read().expect("trace subscriber poisoned").as_ref() {
+    if let Some(sub) = subscriber_slot().read().unwrap_or_else(|p| p.into_inner()).as_ref() {
         sub.record(record);
     }
 }
@@ -469,7 +469,7 @@ impl FileSubscriber {
 
     /// Flushes buffered records to disk.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().expect("file subscriber poisoned").flush()
+        self.writer.lock().unwrap_or_else(|p| p.into_inner()).flush()
     }
 }
 
@@ -479,7 +479,7 @@ impl Subscriber for FileSubscriber {
         line.push('\n');
         // Inline on the traced thread; swallow I/O errors rather than
         // panic mid-pipeline (the final flush() surfaces them).
-        let _ = self.writer.lock().expect("file subscriber poisoned").write_all(line.as_bytes());
+        let _ = self.writer.lock().unwrap_or_else(|p| p.into_inner()).write_all(line.as_bytes());
     }
 }
 
@@ -498,12 +498,12 @@ impl RingSubscriber {
 
     /// All buffered records, oldest first.
     pub fn records(&self) -> Vec<Record> {
-        self.buf.lock().expect("ring subscriber poisoned").iter().cloned().collect()
+        self.buf.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
     }
 
     /// Empties the buffer.
     pub fn clear(&self) {
-        self.buf.lock().expect("ring subscriber poisoned").clear();
+        self.buf.lock().unwrap_or_else(|p| p.into_inner()).clear();
     }
 
     /// Buffered [`RecordKind::SpanEnd`] records named `name`, oldest
@@ -511,7 +511,7 @@ impl RingSubscriber {
     pub fn finished_spans(&self, name: &str) -> Vec<Record> {
         self.buf
             .lock()
-            .expect("ring subscriber poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .iter()
             .filter(|r| r.kind == RecordKind::SpanEnd && r.name == name)
             .cloned()
@@ -521,8 +521,13 @@ impl RingSubscriber {
 
 impl Subscriber for RingSubscriber {
     fn record(&self, record: &Record) {
-        let mut buf = self.buf.lock().expect("ring subscriber poisoned");
-        if buf.len() == self.capacity {
+        // A zero-capacity ring keeps nothing (and must not grow without
+        // bound, which an equality check here once allowed).
+        if self.capacity == 0 {
+            return;
+        }
+        let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+        while buf.len() >= self.capacity {
             buf.pop_front();
         }
         buf.push_back(record.clone());
@@ -584,15 +589,22 @@ mod counting_alloc {
     static ALLOC: CountingAllocator = CountingAllocator;
 }
 
+/// Tests that install/uninstall the process-global subscriber must not
+/// overlap; `cargo test` runs them on parallel threads. Shared across
+/// every in-crate test module that touches the global subscriber slot
+/// (trace and slo).
+#[cfg(test)]
+pub(crate) fn test_subscriber_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Tests that install/uninstall the process-global subscriber must not
-    /// overlap; `cargo test` runs them on parallel threads.
     fn subscriber_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        test_subscriber_lock()
     }
 
     #[test]
@@ -767,6 +779,95 @@ mod tests {
         uninstall();
         assert_eq!(a.records().len(), 1);
         assert_eq!(b.records().len(), 1);
+    }
+
+    #[test]
+    fn ring_capacity_zero_keeps_nothing_and_stays_bounded() {
+        let _guard = subscriber_lock();
+        let ring = Arc::new(RingSubscriber::new(0));
+        install(ring.clone());
+        for i in 0..100_u64 {
+            crate::event!("test.zero_cap", "i" => i);
+        }
+        uninstall();
+        // Regression guard: a zero-capacity ring used to grow without
+        // bound because the eviction check was `len == capacity`.
+        assert!(ring.records().is_empty());
+    }
+
+    #[test]
+    fn ring_at_exact_capacity_holds_then_evicts_in_order() {
+        let _guard = subscriber_lock();
+        let ring = Arc::new(RingSubscriber::new(3));
+        install(ring.clone());
+        for i in 0..3_u64 {
+            crate::event!("test.exact", "i" => i);
+        }
+        // Exactly full: everything retained, oldest first.
+        let held: Vec<u64> = ring
+            .records()
+            .iter()
+            .filter_map(|r| r.field("i").and_then(FieldValue::as_u64))
+            .collect();
+        assert_eq!(held, [0, 1, 2]);
+        // One past capacity evicts exactly the oldest.
+        crate::event!("test.exact", "i" => 3_u64);
+        uninstall();
+        let held: Vec<u64> = ring
+            .records()
+            .iter()
+            .filter_map(|r| r.field("i").and_then(FieldValue::as_u64))
+            .collect();
+        assert_eq!(held, [1, 2, 3]);
+        // clear() empties but the ring keeps accepting afterwards.
+        ring.clear();
+        assert!(ring.records().is_empty());
+    }
+
+    #[test]
+    fn fanout_delivers_in_declaration_order_per_record() {
+        let _guard = subscriber_lock();
+
+        /// Appends `(tag, span_id)` to a shared log on every record, so
+        /// the interleaving across fanout targets is observable.
+        struct TagSubscriber {
+            tag: &'static str,
+            log: Arc<Mutex<Vec<(&'static str, u64)>>>,
+        }
+        impl Subscriber for TagSubscriber {
+            fn record(&self, record: &Record) {
+                self.log.lock().unwrap_or_else(|p| p.into_inner()).push((self.tag, record.span_id));
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let first = Arc::new(TagSubscriber { tag: "first", log: log.clone() });
+        let second = Arc::new(TagSubscriber { tag: "second", log: log.clone() });
+        install(Arc::new(FanoutSubscriber::new(vec![first, second])));
+        {
+            let _a = crate::span!("test.fanout_order.a");
+        }
+        {
+            let _b = crate::span!("test.fanout_order.b");
+        }
+        uninstall();
+
+        let seen = log.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        // 2 spans x (start + end) x 2 subscribers.
+        assert_eq!(seen.len(), 8);
+        // Each record reaches `first` then `second` before the next record
+        // is dispatched: no interleaving across records.
+        for pair in seen.chunks(2) {
+            assert_eq!(pair[0].0, "first");
+            assert_eq!(pair[1].0, "second");
+            assert_eq!(pair[0].1, pair[1].1, "both targets see the same record");
+        }
+        // And records themselves arrive in emission order (a start, a end).
+        let firsts: Vec<u64> =
+            seen.iter().filter(|(t, _)| *t == "first").map(|(_, s)| *s).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted, "span ids non-decreasing in dispatch order");
     }
 
     #[test]

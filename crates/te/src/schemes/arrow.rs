@@ -379,6 +379,7 @@ impl Arrow {
                 "te.phase1",
                 "flows" => inst.flows.len(),
                 "scenarios" => inst.scenarios.len(),
+                "warm" => false,
             );
             let p1 = self.build_phase1(inst);
             let sol1 = arrow_lp::solve(&p1.base.model, &self.solver);
@@ -390,7 +391,11 @@ impl Arrow {
             self.select_winning(inst, &p1.base, &sol1)
         };
         let (base2, plan, sol2) = {
-            let _span = arrow_obs::span!("te.phase2");
+            let _span = arrow_obs::span!(
+                "te.phase2",
+                "flows" => inst.flows.len(),
+                "cached" => false,
+            );
             let (base2, plan) = self.build_phase2(inst, &winning);
             let sol2 = arrow_lp::solve(&base2.model, &self.solver);
             (base2, plan, sol2)
@@ -528,6 +533,7 @@ impl ArrowOnline {
                 "te.phase1",
                 "flows" => inst.flows.len(),
                 "scenarios" => inst.scenarios.len(),
+                "warm" => self.phase1_warm.is_some(),
             );
             // Demand enters Phase I only through the b_f upper bounds.
             for (fi, f) in inst.flows.iter().enumerate() {
@@ -545,9 +551,13 @@ impl ArrowOnline {
             let _span = arrow_obs::span!("te.select", "scenarios" => inst.scenarios.len());
             self.arrow.select_winning(inst, &self.phase1.base, &sol1)
         };
+        let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
         let sol2 = {
-            let _span = arrow_obs::span!("te.phase2");
-            let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
+            let _span = arrow_obs::span!(
+                "te.phase2",
+                "flows" => inst.flows.len(),
+                "cached" => cache_valid,
+            );
             if !cache_valid {
                 let (base, plan) = self.arrow.build_phase2(inst, &winning);
                 // Seed Phase II from the Phase I allocation: both models

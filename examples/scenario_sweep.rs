@@ -25,6 +25,11 @@ use arrow_wan::prelude::*;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// Floor on the universe size for the pipeline comparison — below this,
+/// the batched/sequential wall-clock ratio in `BENCH_batch.json` measures
+/// fixed costs, not the batch path.
+const MIN_PIPELINE_SCENARIOS: usize = 64;
+
 struct TopologyReport {
     name: String,
     universe: ScenarioUniverse,
@@ -71,6 +76,12 @@ fn sweep_topology(
         compile_seconds,
         universe.covered_probability(),
         universe.digest()
+    );
+    assert!(
+        universe.len() >= MIN_PIPELINE_SCENARIOS,
+        "pipeline comparison needs >= {MIN_PIPELINE_SCENARIOS} scenarios, got {} — widen the \
+         universe config",
+        universe.len()
     );
     let by_source =
         |src: ScenarioSource| universe.scenarios.iter().filter(|c| c.source == src).count();
@@ -405,16 +416,21 @@ fn main() {
     let ring = Arc::new(RingSubscriber::new(1 << 16));
     arrow_wan::obs::trace::install(ring.clone());
 
+    // Both modes compile at least MIN_PIPELINE_SCENARIOS scenarios: the
+    // batched-vs-sequential pipeline comparison in BENCH_batch.json is
+    // meaningless on a handful of LPs (fixed costs dominate), so even the
+    // CI smoke universe is sized to something the batch path can sink its
+    // teeth into. Smoke stays cheap by keeping num_tickets low instead.
     let (ucfg, lcfg, shard_counts): (UniverseConfig, LotteryConfig, Vec<usize>) = if smoke {
         (
             UniverseConfig {
-                max_k: 2,
-                cutoff: 1e-3,
+                max_k: 3,
+                cutoff: 1e-5,
                 auto_srlg_size: 3,
                 auto_srlg_probability: 1e-3,
                 maintenance_window: 2,
                 maintenance_probability: 5e-4,
-                max_scenarios: 8,
+                max_scenarios: MIN_PIPELINE_SCENARIOS,
                 ..Default::default()
             },
             LotteryConfig { num_tickets: 6, ..Default::default() },
@@ -431,7 +447,7 @@ fn main() {
                 maintenance_probability: 5e-4,
                 flapping_count: 2,
                 flapping_boost: 4.0,
-                max_scenarios: 48,
+                max_scenarios: 96,
                 ..Default::default()
             },
             LotteryConfig { num_tickets: 12, ..Default::default() },
