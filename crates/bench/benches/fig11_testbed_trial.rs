@@ -11,7 +11,7 @@ fn main() {
         "testbed restoration trial (4 ROADMs, 34 amps, 2,160 km)",
         "Fig. 11: cut of fiber CD fails A↔C, B↔D, C↔D (2.8 Tbps, 14 λ)",
     );
-    let tb = build_testbed();
+    let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
     println!("healthy IP links:");
     for (i, lp) in tb.net.lightpaths().iter().enumerate() {
         println!(

@@ -13,7 +13,7 @@ fn main() {
         "restoration latency with vs without noise loading",
         "Fig. 12: 1,021 s legacy vs 8 s ARROW (127x)",
     );
-    let tb = build_testbed();
+    let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
     let params = RoadmParams::default();
     let legacy = restoration_trial(&tb, tb.fibers[3], false, &params);
     let arrow = restoration_trial(&tb, tb.fibers[3], true, &params);

@@ -147,7 +147,7 @@ struct EpochMetrics {
 }
 
 impl EpochMetrics {
-    fn record(&self, warm: bool, seconds: f64) {
+    fn record(&self, warm: bool, seconds: f64) -> arrow_obs::EpochVerdict {
         if warm {
             self.warm.inc();
         } else {
@@ -158,7 +158,7 @@ impl EpochMetrics {
         // (ARROW §5's five-minute TE epoch by default)? Misses are
         // counted, quantiles and error-budget burn updated, and a warn
         // event emitted on a miss.
-        arrow_obs::slo::record_epoch(seconds);
+        arrow_obs::slo::record_epoch(seconds)
     }
 }
 
@@ -181,6 +181,27 @@ fn epoch_metrics() -> &'static EpochMetrics {
         }
     })
 }
+
+/// How one planned epoch fared against the deadline, as seen by the SLO
+/// engine — returned by [`ArrowController::plan_epoch`] so a long-lived
+/// caller (the `arrow serve` daemon) can decide whether the plan is safe
+/// to install or the previous plan must be reused.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochReport {
+    /// Whether the warm (cached) online path served this epoch.
+    pub warm: bool,
+    /// Wall-clock seconds the epoch took, including any hook work.
+    pub seconds: f64,
+    /// The SLO verdict ([`arrow_obs::slo::record_epoch`]) for this epoch.
+    pub verdict: arrow_obs::EpochVerdict,
+}
+
+/// A pre-solve hook for [`ArrowController::plan_epoch`]: runs *inside*
+/// the epoch span and wall-clock window, after offline validation and
+/// before the TE solve. The daemon's chaos mode uses it to model extra
+/// planning load — anything the hook burns counts against the epoch
+/// deadline exactly like solver time.
+pub type EpochHook<'a> = &'a dyn Fn();
 
 /// The ARROW controller.
 #[derive(Debug, Clone)]
@@ -258,10 +279,29 @@ impl ArrowController {
     /// the same traffic matrix (identical winning tickets; Phase II
     /// objective equal up to solver tolerance).
     pub fn plan_warm(&mut self, tm: &TrafficMatrix) -> Result<TePlan, PlanError> {
+        self.plan_epoch(tm, None).map(|(plan, _)| plan)
+    }
+
+    /// The daemon-facing epoch entry point: [`ArrowController::plan_warm`]
+    /// plus the measured [`EpochReport`] (wall seconds and the SLO
+    /// verdict), and an optional pre-solve [`EpochHook`] that runs inside
+    /// the epoch's span and deadline window.
+    ///
+    /// The verdict is computed from the same wall clock the `epoch` span
+    /// and `epoch.seconds` histogram see, so a deadline miss reported here
+    /// is exactly the miss the flight recorder captures.
+    pub fn plan_epoch(
+        &mut self,
+        tm: &TrafficMatrix,
+        hook: Option<EpochHook<'_>>,
+    ) -> Result<(TePlan, EpochReport), PlanError> {
         let _span = arrow_obs::span!("epoch", "mode" => "warm");
         // arrow-lint: allow(wall-clock-in-core) — measures epoch wall time for the metrics registry only; no solver decision reads it
         let t0 = std::time::Instant::now();
         self.validate_offline()?;
+        if let Some(hook) = hook {
+            hook();
+        }
         if self.online.is_none() {
             let instance =
                 build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
@@ -272,8 +312,9 @@ impl ArrowController {
         let instance = cache.instance.with_demands(tm);
         let outcome = cache.online.solve(&instance);
         let plan = self.finish_plan(outcome, instance);
-        epoch_metrics().record(true, t0.elapsed().as_secs_f64());
-        plan
+        let seconds = t0.elapsed().as_secs_f64();
+        let verdict = epoch_metrics().record(true, seconds);
+        plan.map(|p| (p, EpochReport { warm: true, seconds, verdict }))
     }
 
     /// Drops the cached online state (tunnels, LP skeleton, warm starts).

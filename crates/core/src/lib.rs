@@ -26,7 +26,9 @@ pub mod lottery;
 pub mod par;
 pub mod theorem;
 
-pub use controller::{ArrowController, ControllerConfig, PlanError, ReconfigRule, TePlan};
+pub use controller::{
+    ArrowController, ControllerConfig, EpochHook, EpochReport, PlanError, ReconfigRule, TePlan,
+};
 pub use lottery::{
     derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
     generate_tickets_shard, generate_tickets_shard_with_threads, generate_tickets_universe,

@@ -12,7 +12,17 @@
 //!   ([`crate::metrics::Snapshot::to_prometheus`]);
 //! * `GET /snapshot.json` — the JSON snapshot
 //!   ([`crate::metrics::Snapshot::to_json`]);
-//! * `GET /healthz` — `ok`, for liveness probes.
+//! * `GET /healthz` — `ok`, for liveness probes;
+//! * `GET /readyz` — readiness: `503` until the serving process marks
+//!   itself ready via [`set_ready`] (the daemon does so after its first
+//!   successful plan), `200 ready` after.
+//!
+//! Liveness and readiness are deliberately distinct: `/healthz` answers
+//! "is the process up" and is `200` from the moment the listener binds,
+//! while `/readyz` answers "can this controller serve a plan" and stays
+//! `503` through offline ticket generation and the first epoch. The flag
+//! is process-global (one controller per process), so orchestrators can
+//! point both probes at the same exporter.
 //!
 //! Anything else is `404`; non-GET methods are `405`. Requests are served
 //! sequentially on one background thread (scrapes are rare and the
@@ -37,6 +47,21 @@ const IO_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Maximum request head we are willing to buffer before answering.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Process-global readiness flag behind `/readyz`. False at startup;
+/// flipped by [`set_ready`] once the controller has produced its first
+/// successful plan (and back to false if it wants to shed load).
+static READY: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-global readiness flag served by `/readyz`.
+pub fn set_ready(ready: bool) {
+    READY.store(ready, Ordering::Release);
+}
+
+/// The current readiness flag, exactly as `/readyz` sees it.
+pub fn ready() -> bool {
+    READY.load(Ordering::Acquire)
+}
 
 struct ExportMetrics {
     requests: metrics::Counter,
@@ -169,10 +194,21 @@ fn respond(head: &[u8]) -> (&'static str, &'static str, String) {
             ("200 OK", "application/json; charset=utf-8", metrics::snapshot().to_json())
         }
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/readyz" => {
+            if ready() {
+                ("200 OK", "text/plain; charset=utf-8", "ready\n".to_string())
+            } else {
+                (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "not ready: no successful plan yet\n".to_string(),
+                )
+            }
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "endpoints: /metrics /snapshot.json /healthz\n".to_string(),
+            "endpoints: /metrics /snapshot.json /healthz /readyz\n".to_string(),
         ),
     }
 }
@@ -239,6 +275,33 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn readyz_tracks_the_readiness_flag() {
+        // The flag is process-global; this is the only test that touches
+        // it, so the 503 -> 200 -> 503 sequence below is race-free.
+        let handle = spawn("127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+
+        set_ready(false);
+        let starting = http_get(addr, "/readyz").expect("GET /readyz");
+        assert!(starting.starts_with("HTTP/1.1 503"), "{starting}");
+        assert!(body_of(&starting).contains("not ready"), "{starting}");
+        // Liveness stays green the whole time.
+        let health = http_get(addr, "/healthz").expect("GET /healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+
+        set_ready(true);
+        assert!(ready());
+        let ok = http_get(addr, "/readyz").expect("GET /readyz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert_eq!(body_of(&ok), "ready\n");
+
+        // Readiness can be withdrawn (load shedding / re-offline).
+        set_ready(false);
+        let again = http_get(addr, "/readyz").expect("GET /readyz");
+        assert!(again.starts_with("HTTP/1.1 503"), "{again}");
     }
 
     #[test]

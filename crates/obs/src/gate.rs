@@ -106,6 +106,15 @@ pub fn default_specs() -> Vec<MetricSpec> {
             HigherIsBetter,
             0.75,
         ),
+        // serve_soak → BENCH_serve.json: the controller daemon under chaos.
+        // Ratios are machine-independent; the fallback rate is a ceiling
+        // (every chaos burst forces exactly one fallback, so growth means
+        // ordinary epochs started missing the deadline too).
+        spec("BENCH_serve.json", "warm_hit_ratio", HigherIsBetter, 0.05),
+        spec("BENCH_serve.json", "fallback_rate", LowerIsBetter, 1.0),
+        spec("BENCH_serve.json", "epochs_per_sec", HigherIsBetter, 0.75),
+        spec("BENCH_serve.json", "p99_epoch_seconds", LowerIsBetter, 2.0),
+        spec("BENCH_serve.json", "incidents_complete", Equal, 0.0),
     ]
 }
 

@@ -25,7 +25,11 @@
 //! On top of the two halves sits the **telemetry plane**:
 //!
 //! * [`export`] — a zero-dependency HTTP listener serving `/metrics`
-//!   (Prometheus text), `/snapshot.json`, and `/healthz` from any binary;
+//!   (Prometheus text), `/snapshot.json`, `/healthz`, and `/readyz`
+//!   (readiness, flipped by the controller daemon) from any binary;
+//! * [`incident`] — flight-recorder incident dumps: freeze a bad epoch's
+//!   span tree, critical path, and metrics snapshot into a timestamped
+//!   directory for post-mortems;
 //! * [`slo`] — the epoch-deadline SLO engine (deadline-miss counters,
 //!   rolling p50/p99, error-budget burn rate), fed by the controller once
 //!   per epoch;
@@ -75,6 +79,7 @@
 pub mod analyze;
 pub mod export;
 pub mod gate;
+pub mod incident;
 pub mod json;
 pub mod metrics;
 pub mod slo;
@@ -82,6 +87,7 @@ pub mod trace;
 
 pub use analyze::{CriticalHop, SpanNode, SpanTree, StageStat};
 pub use export::{http_get, ExportHandle};
+pub use incident::{IncidentContext, IncidentDump};
 pub use metrics::{Counter, Gauge, Histogram, Snapshot};
 pub use slo::{EpochVerdict, SloConfig};
 pub use trace::{

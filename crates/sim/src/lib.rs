@@ -15,12 +15,14 @@
 
 pub mod amplifier;
 pub mod event;
+pub mod feed;
 pub mod noise;
 pub mod roadm;
 pub mod testbed;
 
 pub use amplifier::{AmplifierChain, AmplifierParams};
 pub use event::{EventQueue, SimTime};
+pub use feed::{EventFeed, FeedConfig, FeedEvent};
 pub use noise::{ChannelState, NoiseController, NoiseLoadedFiber, Swap};
 pub use roadm::{roadm_groups, RoadmGroups, RoadmParams};
 pub use testbed::{build_testbed, restoration_trial, Testbed, TimelinePoint, TrialResult};

@@ -19,7 +19,7 @@ use crate::amplifier::{AmplifierChain, AmplifierParams};
 use crate::event::{EventQueue, SimTime};
 use crate::roadm::{roadm_groups, RoadmParams};
 use arrow_optical::rwa::{greedy_assign, RwaConfig};
-use arrow_optical::{FiberId, Lightpath, OpticalNetwork, RoadmId};
+use arrow_optical::{FiberId, Lightpath, OpticalError, OpticalNetwork, RoadmId};
 
 /// The testbed: optical network plus amplifier chains per fiber.
 #[derive(Debug, Clone)]
@@ -35,16 +35,22 @@ pub struct Testbed {
 }
 
 /// Builds the Fig. 10 testbed.
-pub fn build_testbed() -> Testbed {
+///
+/// The construction is fixed, but it still flows through the same
+/// validated [`OpticalNetwork::provision`] path as user-supplied
+/// topologies, so inconsistencies (a slot collision introduced while
+/// editing the wavelength plan) surface as a typed [`OpticalError`]
+/// instead of a panic.
+pub fn build_testbed() -> Result<Testbed, OpticalError> {
     let mut net = OpticalNetwork::new(16);
     let a = net.add_roadm();
     let b = net.add_roadm();
     let c = net.add_roadm();
     let d = net.add_roadm();
-    let f_ab = net.add_fiber(a, b, 540.0).unwrap();
-    let f_ac = net.add_fiber(a, c, 540.0).unwrap();
-    let f_bd = net.add_fiber(b, d, 540.0).unwrap();
-    let f_cd = net.add_fiber(c, d, 540.0).unwrap();
+    let f_ab = net.add_fiber(a, b, 540.0)?;
+    let f_ac = net.add_fiber(a, c, 540.0)?;
+    let f_bd = net.add_fiber(b, d, 540.0)?;
+    let f_cd = net.add_fiber(c, d, 540.0)?;
     // A↔B: 2 × 200G direct (λ1, λ2).
     net.provision(Lightpath {
         src: a,
@@ -52,8 +58,7 @@ pub fn build_testbed() -> Testbed {
         path: vec![f_ab],
         slots: vec![0, 1],
         gbps_per_wavelength: 200.0,
-    })
-    .unwrap();
+    })?;
     // A↔C: 6 × 200G express via D (fibers AB? no — via B/D would collide);
     // routed A–B–D–C so it rides fiber CD (per the Fig. 11 cut impact).
     net.provision(Lightpath {
@@ -62,8 +67,7 @@ pub fn build_testbed() -> Testbed {
         path: vec![f_ab, f_bd, f_cd],
         slots: vec![2, 3, 4, 5, 6, 7],
         gbps_per_wavelength: 200.0,
-    })
-    .unwrap();
+    })?;
     // B↔D: 6 × 200G express via C: B–A–C–D riding fiber CD.
     net.provision(Lightpath {
         src: b,
@@ -71,8 +75,7 @@ pub fn build_testbed() -> Testbed {
         path: vec![f_ab, f_ac, f_cd],
         slots: vec![8, 9, 10, 11, 12, 13],
         gbps_per_wavelength: 200.0,
-    })
-    .unwrap();
+    })?;
     // C↔D: 2 × 200G direct.
     net.provision(Lightpath {
         src: c,
@@ -80,8 +83,7 @@ pub fn build_testbed() -> Testbed {
         path: vec![f_cd],
         slots: vec![14, 15],
         gbps_per_wavelength: 200.0,
-    })
-    .unwrap();
+    })?;
     // 34 amplifier sites over 2,160 km: 8–9 per 540 km fiber.
     let amp_params = AmplifierParams::default();
     let amps = vec![
@@ -90,7 +92,7 @@ pub fn build_testbed() -> Testbed {
         AmplifierChain { sites: 8, params: amp_params },
         AmplifierChain { sites: 9, params: amp_params },
     ];
-    Testbed { net, sites: [a, b, c, d], fibers: [f_ab, f_ac, f_bd, f_cd], amps }
+    Ok(Testbed { net, sites: [a, b, c, d], fibers: [f_ab, f_ac, f_bd, f_cd], amps })
 }
 
 /// One step of restored capacity in the trial timeline.
@@ -206,7 +208,7 @@ mod tests {
 
     #[test]
     fn cut_cd_loses_2_8_tbps_across_three_links() {
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let cut = [tb.fibers[3]];
         let affected = tb.net.affected_lightpaths(&cut);
         assert_eq!(affected.len(), 3, "A↔C, B↔D, C↔D must fail");
@@ -216,7 +218,7 @@ mod tests {
 
     #[test]
     fn amplifier_count_matches_fig10() {
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let total: usize = tb.amps.iter().map(|c| c.sites).sum();
         assert_eq!(total, 34);
         assert_eq!(tb.net.path_length_km(tb.fibers.as_ref()), 2160.0);
@@ -224,7 +226,7 @@ mod tests {
 
     #[test]
     fn arrow_restores_in_seconds() {
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let r = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
         assert!(r.restored_gbps > 0.0);
         assert!(
@@ -236,7 +238,7 @@ mod tests {
 
     #[test]
     fn legacy_takes_minutes_and_ratio_matches_fig12() {
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let arrow = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
         let legacy = restoration_trial(&tb, tb.fibers[3], false, &RoadmParams::default());
         assert!(
@@ -256,7 +258,7 @@ mod tests {
 
     #[test]
     fn timeline_is_monotone() {
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let r = restoration_trial(&tb, tb.fibers[3], false, &RoadmParams::default());
         for w in r.timeline.windows(2) {
             assert!(w[1].time_s >= w[0].time_s);
@@ -269,7 +271,7 @@ mod tests {
     fn restoration_capacity_is_substantial() {
         // The testbed is engineered so the CD cut is (near-)fully
         // restorable: 16-slot fibers with 14 idle slots on the detours.
-        let tb = build_testbed();
+        let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         let r = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
         assert!(
             r.restored_gbps >= 0.5 * r.lost_gbps,

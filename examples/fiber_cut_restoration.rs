@@ -12,7 +12,7 @@
 use arrow_wan::prelude::*;
 
 fn main() {
-    let tb = build_testbed();
+    let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
     let cut = tb.fibers[3]; // fiber C–D
     println!("== §5 testbed: 4 ROADMs, 34 amplifiers, 2,160 km fiber ==\n");
     println!("Provisioned IP links: A↔B 0.4 Tbps | A↔C 1.2 Tbps | B↔D 1.2 Tbps | C↔D 0.4 Tbps");

@@ -14,6 +14,10 @@
 //!   noise loading.
 //! * `mps <topo> --out <file>` — export the MaxFlow TE LP as an MPS file
 //!   for cross-checking with external solvers.
+//! * `serve <topo>` — run the long-lived controller daemon: a seeded
+//!   event feed drives re-planning epoch after epoch, `/metrics` and
+//!   `/readyz` are served live, and deadline misses dump flight-recorder
+//!   incidents. `--chaos true` injects correlated failure bursts.
 //!
 //! Argument parsing is deliberately plain `std` (no CLI dependency): flags
 //! are `--key value` pairs after the positional arguments.
@@ -33,6 +37,9 @@ fn usage() -> &'static str {
      \u{20}             [--scale X] [--scenarios N] [--seed N]\n\
      \u{20}latency      [--amps N]\n\
      \u{20}mps          <b4|ibm|facebook> --out FILE [--seed N]\n\
+     \u{20}serve        <b4|ibm|facebook> [--epochs N] [--budget S] [--chaos true]\n\
+     \u{20}             [--bursts N] [--stall S] [--addr HOST:PORT] [--incident-dir DIR]\n\
+     \u{20}             [--tickets N] [--scenarios N] [--scale X] [--seed N]\n\
      \u{20}help"
 }
 
@@ -239,7 +246,7 @@ fn cmd_availability(args: &[String]) -> Result<(), String> {
 
 fn cmd_latency(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, 0)?;
-    let mut tb = build_testbed();
+    let mut tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
     let amps: usize = flag(&flags, "amps", 0usize)?;
     if amps > 0 {
         let chains = tb.amps.len().max(1);
@@ -312,6 +319,81 @@ fn cmd_mps(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("topology name required")?;
+    let flags = parse_flags(args, 1)?;
+    let seed = flag(&flags, "seed", 17u64)?;
+    let wan = build_wan(name, seed)?;
+    let chaos = if flag(&flags, "chaos", false)? {
+        Some(ChaosConfig {
+            seed: flag(&flags, "chaos-seed", 1337u64)?,
+            bursts: flag(&flags, "bursts", 3u64)?,
+            stall_seconds: flag(&flags, "stall", 3.0f64)?,
+            ..Default::default()
+        })
+    } else {
+        None
+    };
+    let config = ServeConfig {
+        seed: flag(&flags, "feed-seed", 42u64)?,
+        epochs: flag(&flags, "epochs", 48u64)?,
+        budget_seconds: flag(&flags, "budget", ServeConfig::default().budget_seconds)?,
+        scenarios: flag(&flags, "scenarios", 4usize)?,
+        tickets: flag(&flags, "tickets", 8usize)?,
+        demand_scale: flag(&flags, "scale", 2.0f64)?,
+        addr: flag(&flags, "addr", "127.0.0.1:0".to_string())?,
+        incident_dir: std::path::PathBuf::from(flag(
+            &flags,
+            "incident-dir",
+            "incidents".to_string(),
+        )?),
+        chaos,
+        ..Default::default()
+    };
+    println!(
+        "arrow serve: {name} topology, {} epochs, {:.1}s budget, chaos {}",
+        config.epochs,
+        config.budget_seconds,
+        if config.chaos.is_some() { "on" } else { "off" },
+    );
+    let report = serve(wan, &config).map_err(|e| e.to_string())?;
+    println!("exporter listened on http://{}", report.metrics_addr);
+    println!(
+        "planned {} epochs ({} ticks, {} cut/repair re-plans, {} chaos bursts) in {:.1}s",
+        report.epochs_planned,
+        report.ticks,
+        report.cut_replans,
+        report.chaos_bursts,
+        report.wall_seconds
+    );
+    println!(
+        "warm-hit ratio {:.3} | p99 epoch {:.3}s | {} fallbacks | {} plan errors | {} live scrapes",
+        report.warm_hit_ratio,
+        report.p99_epoch_seconds(),
+        report.fallbacks,
+        report.plan_errors,
+        report.scrapes_ok
+    );
+    println!(
+        "/readyz: {} before first plan -> {} after",
+        report.readyz_before, report.readyz_after
+    );
+    if report.incidents.is_empty() {
+        println!("no incidents (every epoch met its {:.1}s budget)", config.budget_seconds);
+    } else {
+        println!("{} incident dump(s):", report.incidents.len());
+        for inc in &report.incidents {
+            println!(
+                "  {} ({} spans, critical path {} hops)",
+                inc.dir.display(),
+                inc.spans,
+                inc.critical_path.len()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -326,6 +408,7 @@ fn main() -> ExitCode {
         "availability" => cmd_availability(rest),
         "latency" => cmd_latency(rest),
         "mps" => cmd_mps(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

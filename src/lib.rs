@@ -19,6 +19,9 @@
 //! * [`sim`] — event-driven restoration-latency simulator (the testbed).
 //! * [`obs`] — structured tracing + metrics registry every crate emits
 //!   into (see `examples/observe_pipeline.rs` for a full run report).
+//! * [`daemon`] — the `arrow serve` epoch loop: event-feed driven
+//!   re-planning with a flight recorder, deadline-miss fallback, and
+//!   chaos mode (see `examples/serve_soak.rs`).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
+
 pub use arrow_core as core;
 pub use arrow_lp as lp;
 pub use arrow_obs as obs;
@@ -57,6 +62,7 @@ pub use arrow_topology as topology;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use crate::daemon::{serve, ChaosConfig, ServeConfig, ServeError, ServeReport};
     pub use arrow_core::{
         derive_seed, fractional_seed, generate_tickets, generate_tickets_serial,
         generate_tickets_shard, generate_tickets_shard_with_threads, generate_tickets_universe,

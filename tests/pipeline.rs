@@ -129,7 +129,7 @@ fn restoration_latency_and_te_compose() {
     // The latency simulator and the TE pipeline describe the same event:
     // ARROW's plan is installed proactively, then a cut triggers the
     // 8-second optical failover while routers keep their splitting ratios.
-    let tb = build_testbed();
+    let tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
     let arrow_trial = restoration_trial(&tb, tb.fibers[3], true, &RoadmParams::default());
     let legacy_trial = restoration_trial(&tb, tb.fibers[3], false, &RoadmParams::default());
     assert!(arrow_trial.total_latency_s < 15.0);

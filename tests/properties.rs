@@ -152,7 +152,7 @@ proptest! {
     /// noise loading is invariant to it.
     #[test]
     fn latency_scales_with_amplifiers(mult in 1usize..5) {
-        let mut tb = build_testbed();
+        let mut tb = build_testbed().expect("Fig. 10 testbed is self-consistent");
         for chain in tb.amps.iter_mut() {
             chain.sites *= mult;
         }

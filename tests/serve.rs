@@ -1,0 +1,110 @@
+//! Integration tests for the `arrow serve` daemon loop.
+//!
+//! `serve` drives process-global observability state (the installed
+//! tracer, the SLO window, the exporter readiness flag), so every test
+//! here serializes on one mutex rather than racing over the globals.
+
+use arrow_wan::daemon::{serve, ChaosConfig, ServeConfig};
+use arrow_wan::prelude::b4;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arrow-serve-test-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    dir
+}
+
+/// A small, cut-free run: ticks only plus whatever chaos injects.
+fn base_config(tag: &str) -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        epochs: 4,
+        scenarios: 3,
+        tickets: 4,
+        mean_cut_interval_s: 0.0,
+        scrape_every: 0,
+        incident_dir: scratch_dir(tag),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn forced_slow_epoch_falls_back_to_previous_plan() {
+    let _guard = SERVE_LOCK.lock().expect("serve lock");
+    let fallbacks_before = arrow_wan::obs::metrics::snapshot().counter("daemon.fallback");
+
+    // One burst whose stall (2.5 s) blows a 1 s budget; healthy warm
+    // epochs run well under it, so exactly one epoch may miss.
+    let config = ServeConfig {
+        budget_seconds: 1.0,
+        chaos: Some(ChaosConfig {
+            bursts: 1,
+            stall_seconds: 2.5,
+            first_burst_epoch: 2,
+            ..Default::default()
+        }),
+        ..base_config("fallback")
+    };
+    let report = serve(b4(17), &config).expect("daemon run");
+
+    assert_eq!(report.chaos_bursts, 1, "the scheduled burst must be delivered");
+    assert_eq!(report.fallbacks, 1, "the stalled epoch must fall back");
+    assert_eq!(report.plan_errors, 0);
+    let fallbacks_after = arrow_wan::obs::metrics::snapshot().counter("daemon.fallback");
+    assert_eq!(fallbacks_after - fallbacks_before, 1, "daemon.fallback must count the miss");
+
+    // The installed plan did not advance on the missed epoch: the last
+    // history entry repeats the previous one.
+    let h = &report.installed_history;
+    assert!(h.len() >= 2);
+    assert_eq!(
+        h[h.len() - 1],
+        h[h.len() - 2],
+        "deadline miss must keep the previous epoch's plan installed"
+    );
+    assert!(h[h.len() - 1].is_some(), "a plan must have been installed before the miss");
+
+    // And the miss left a complete flight-recorder incident behind.
+    assert_eq!(report.incidents.len(), 1);
+    let inc = &report.incidents[0];
+    assert!(
+        inc.critical_path_contains("lp.solve"),
+        "incident critical path must reach lp.solve, got {:?}",
+        inc.critical_path.iter().map(|h| h.name.as_str()).collect::<Vec<_>>()
+    );
+    assert!(inc.dir.join("trace.jsonl").exists());
+    assert!(inc.dir.join("incident.json").exists());
+    std::fs::remove_dir_all(&config.incident_dir).ok();
+}
+
+#[test]
+fn same_seed_chaos_soaks_are_byte_identical() {
+    let _guard = SERVE_LOCK.lock().expect("serve lock");
+
+    // Zero-stall bursts: the chaos *schedule* is exercised without any
+    // wall-clock dependence, so the whole run is a pure function of the
+    // seed — event sequence and computed plans alike.
+    let config = ServeConfig {
+        chaos: Some(ChaosConfig { bursts: 2, stall_seconds: 0.0, ..Default::default() }),
+        ..base_config("determinism")
+    };
+    let a = serve(b4(17), &config).expect("first run");
+    let b = serve(b4(17), &config).expect("second run");
+
+    assert_eq!(a.event_log, b.event_log, "same seed must replay the same event sequence");
+    assert_eq!(
+        a.winning_digest, b.winning_digest,
+        "same seed must compute the same winning tickets every epoch"
+    );
+    assert_eq!(a.chaos_bursts, 2);
+    assert_eq!(a.fallbacks, 0, "zero-stall bursts must not miss the deadline");
+
+    let other = ServeConfig { seed: 8, ..config.clone() };
+    let c = serve(b4(17), &other).expect("different-seed run");
+    assert_ne!(a.event_log, c.event_log, "a different seed must change the event sequence");
+}
