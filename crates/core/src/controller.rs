@@ -302,13 +302,16 @@ impl ArrowController {
         if let Some(hook) = hook {
             hook();
         }
-        if self.online.is_none() {
-            let instance =
-                build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
-            let online = ArrowOnline::new(self.arrow_scheme(), &instance);
-            self.online = Some(OnlineCache { instance, online });
-        }
-        let cache = self.online.as_mut().expect("online cache populated above");
+        let warm_cache = match self.online.take() {
+            Some(cache) => cache,
+            None => {
+                let instance =
+                    build_instance(&self.wan, tm, &self.offline.scenarios, &self.config.tunnels);
+                let online = ArrowOnline::new(self.arrow_scheme(), &instance);
+                OnlineCache { instance, online }
+            }
+        };
+        let cache = self.online.insert(warm_cache);
         let instance = cache.instance.with_demands(tm);
         let outcome = cache.online.solve(&instance);
         let plan = self.finish_plan(outcome, instance);

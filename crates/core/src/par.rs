@@ -110,11 +110,12 @@ where
             });
         }
         drop(tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter().map(|r| r.expect("every index produced exactly one result")).collect()
+        // Indices are a permutation of 0..n (each worker claims via the
+        // shared counter), so a stable sort restores input order without
+        // any per-slot occupancy bookkeeping.
+        let mut out: Vec<(usize, R)> = rx.into_iter().collect();
+        out.sort_by_key(|&(i, _)| i);
+        out.into_iter().map(|(_, r)| r).collect()
     })
 }
 

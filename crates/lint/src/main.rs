@@ -2,15 +2,29 @@
 //!
 //! ```text
 //! arrow-lint [--root DIR] [--check] [--json FILE] [--update-baseline]
-//!            [--baseline FILE] [--list-rules]
+//!            [--baseline FILE] [--list-rules] [--explain] [--dot FILE]
+//!            [--entry SPEC]... [--sink SPEC]...
 //! ```
 //!
 //! Default mode prints diagnostics and a summary (always exit 0).
 //! `--check` is the CI gate: exit 1 on any unbaselined violation, bad
 //! pragma, or baseline drift in either direction (the ratchet only
 //! tightens). `--update-baseline` rewrites the baseline from the tree.
+//!
+//! The interprocedural analyses (panic-reachability, determinism-taint)
+//! always run; `--explain` prints each flow violation's full call chain
+//! frame-by-frame with file:line anchors, `--dot FILE` writes the
+//! workspace call graph as Graphviz, and `--entry`/`--sink` add entry
+//! points / taint sinks on top of the built-in defaults (suffix-matched
+//! qualified names such as `ArrowController::plan_epoch`).
 
+use arrow_lint::analysis::{
+    determinism_taint, explain_chain, in_product_graph, panic_reachability, to_violation,
+    DEFAULT_ENTRIES, DEFAULT_SINKS,
+};
 use arrow_lint::baseline::{compare, Baseline};
+use arrow_lint::callgraph::CallGraph;
+use arrow_lint::parser::{parse_file, ParsedFile};
 use arrow_lint::rules::{check_file, classify, FileInput, Violation, RULES};
 use arrow_lint::walk::{find_root, rel_str, rust_files};
 use std::collections::BTreeMap;
@@ -26,6 +40,10 @@ struct Options {
     update_baseline: bool,
     baseline: Option<PathBuf>,
     list_rules: bool,
+    explain: bool,
+    dot: Option<PathBuf>,
+    entries: Vec<String>,
+    sinks: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +54,10 @@ fn parse_args() -> Result<Options, String> {
         update_baseline: false,
         baseline: None,
         list_rules: false,
+        explain: false,
+        dot: None,
+        entries: Vec::new(),
+        sinks: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,14 +65,19 @@ fn parse_args() -> Result<Options, String> {
             "--check" => opts.check = true,
             "--update-baseline" => opts.update_baseline = true,
             "--list-rules" => opts.list_rules = true,
+            "--explain" => opts.explain = true,
             "--root" => opts.root = Some(next_value(&mut args, "--root")?.into()),
             "--json" => opts.json = Some(next_value(&mut args, "--json")?.into()),
             "--baseline" => opts.baseline = Some(next_value(&mut args, "--baseline")?.into()),
+            "--dot" => opts.dot = Some(next_value(&mut args, "--dot")?.into()),
+            "--entry" => opts.entries.push(next_value(&mut args, "--entry")?),
+            "--sink" => opts.sinks.push(next_value(&mut args, "--sink")?),
             "--help" | "-h" => {
                 println!(
                     "arrow-lint: project-specific static analysis\n\n\
                      USAGE: arrow-lint [--root DIR] [--check] [--json FILE]\n\
-                            [--update-baseline] [--baseline FILE] [--list-rules]"
+                            [--update-baseline] [--baseline FILE] [--list-rules]\n\
+                            [--explain] [--dot FILE] [--entry SPEC]... [--sink SPEC]..."
                 );
                 std::process::exit(0);
             }
@@ -101,8 +128,9 @@ fn main() -> ExitCode {
     };
     let baseline_path = opts.baseline.clone().unwrap_or_else(|| root.join(BASELINE_FILE));
 
-    // Lint every file.
+    // Lint every file; parse product-library files for the call graph.
     let mut violations: Vec<(String, Violation)> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     let files = rust_files(&root);
     for rel in &files {
         let rel_s = rel_str(rel);
@@ -117,6 +145,35 @@ fn main() -> ExitCode {
         let input = FileInput { rel_path: &rel_s, crate_name: &crate_name, kind, src: &src };
         for v in check_file(&input) {
             violations.push((rel_s.clone(), v));
+        }
+        if in_product_graph(&rel_s) {
+            parsed.push(parse_file(&rel_s, &src));
+        }
+    }
+
+    // Interprocedural analyses over the product call graph.
+    let parsed_refs: Vec<&ParsedFile> = parsed.iter().collect();
+    let graph = CallGraph::build(&parsed_refs);
+    let by_path: BTreeMap<&str, &ParsedFile> =
+        parsed.iter().map(|p| (p.rel_path.as_str(), p)).collect();
+    let mut entries: Vec<String> = DEFAULT_ENTRIES.iter().map(|s| s.to_string()).collect();
+    entries.extend(opts.entries.iter().cloned());
+    let mut sinks: Vec<String> = DEFAULT_SINKS.iter().map(|s| s.to_string()).collect();
+    sinks.extend(opts.sinks.iter().cloned());
+    let mut findings = panic_reachability(&graph, &by_path, &entries);
+    findings.extend(determinism_taint(&graph, &by_path, &sinks));
+    if opts.explain {
+        for f in &findings {
+            print!("{}", explain_chain(&graph, f));
+        }
+    }
+    for f in &findings {
+        violations.push(to_violation(&graph, f));
+    }
+    if let Some(dot_path) = &opts.dot {
+        if let Err(e) = std::fs::write(dot_path, graph.to_dot()) {
+            eprintln!("arrow-lint: cannot write {}: {e}", dot_path.display());
+            return ExitCode::from(2);
         }
     }
 
@@ -225,6 +282,15 @@ fn main() -> ExitCode {
     }
 
     let baselined_total: usize = rule_totals.values().map(|(_, b)| *b).sum();
+    let edge_count: usize = graph.edges.iter().map(Vec::len).sum();
+    println!(
+        "arrow-lint: call graph {} fn(s), {} edge(s); {} entry / {} sink spec(s), {} flow finding(s)",
+        graph.nodes.len(),
+        edge_count,
+        entries.len(),
+        sinks.len(),
+        findings.len(),
+    );
     println!(
         "arrow-lint: {} file(s), {} unbaselined violation(s), {} baselined, {} stale baseline entr{}",
         files.len(),

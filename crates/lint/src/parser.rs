@@ -1,0 +1,289 @@
+//! Item-tree parser on top of the lexer.
+//!
+//! The interprocedural analyses need *structure* the token stream alone
+//! does not give: which function a token belongs to, the function's
+//! module path, and the `impl` block (if any) that owns it. This module
+//! recovers exactly that much of the Rust grammar — module nesting
+//! (`mod name { … }`), `impl Type` / `impl Trait for Type` blocks,
+//! `trait` blocks with default bodies, and `fn` items with brace-matched
+//! bodies — and nothing more. Expressions inside bodies stay a flat token
+//! range; the call-graph extractor walks them later.
+//!
+//! The parser is deliberately conservative: anything it cannot classify
+//! it skips token-by-token, so a construct it does not model (macro
+//! definitions, struct literals, const blocks) can never misattribute a
+//! function boundary, only hide calls — the safe direction for an
+//! analysis whose job is to prove *absence* of panics on the modelled
+//! paths.
+
+use crate::lexer::{lex, test_line_ranges, TokKind, Token};
+use crate::pragma::{collect_pragmas, Pragma};
+use crate::rules::Violation;
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name (`plan_epoch`).
+    pub simple: String,
+    /// `impl`/`trait` self type when the fn is a method (`ArrowController`).
+    pub owner: Option<String>,
+    /// Fully qualified path: `crate::module::Owner::name` segments joined
+    /// with `::` (e.g. `core::controller::ArrowController::plan_epoch`).
+    pub qual: String,
+    /// Module path segments (crate name first).
+    pub modules: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open range into [`ParsedFile::code`] covering the body tokens
+    /// (excluding the outer braces). Empty for bodyless declarations.
+    pub body: (usize, usize),
+    /// Whether the fn sits inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+/// A parsed source file: its functions plus everything the workspace
+/// analyses need to judge them (code tokens, pragmas, pragma errors).
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Code tokens (comments stripped); `FnDef::body` indexes into this.
+    pub code: Vec<Token>,
+    /// Functions found in the file, in source order.
+    pub fns: Vec<FnDef>,
+    /// Valid suppression pragmas (line- and file-scoped).
+    pub pragmas: Vec<Pragma>,
+    /// `bad-pragma` diagnostics (malformed pragmas are never silent).
+    pub pragma_errors: Vec<Violation>,
+}
+
+/// Derives the module path (crate name first) from a workspace-relative
+/// file path: `crates/te/src/schemes/arrow.rs` → `["te", "schemes",
+/// "arrow"]`, `src/daemon/mod.rs` → `["arrow", "daemon"]` (the root
+/// package is `arrow`), `lib.rs`/`main.rs`/`mod.rs` add no segment.
+pub fn module_path_of(rel_path: &str) -> Vec<String> {
+    let (crate_name, rest) = match rel_path.strip_prefix("crates/") {
+        Some(r) => {
+            let mut it = r.splitn(2, '/');
+            let name = it.next().unwrap_or("");
+            (name.to_string(), it.next().unwrap_or(""))
+        }
+        None => ("arrow".to_string(), rel_path),
+    };
+    let mut path = vec![crate_name];
+    let rest = rest.strip_prefix("src/").unwrap_or(rest);
+    for seg in rest.split('/') {
+        let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+        if seg.is_empty() || seg == "lib" || seg == "main" || seg == "mod" || seg == "src" {
+            continue;
+        }
+        path.push(seg.to_string());
+    }
+    path
+}
+
+/// Parses one file into its item tree.
+pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
+    let toks = lex(src);
+    let test_ranges = test_line_ranges(&toks);
+    let code: Vec<Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
+    let code_refs: Vec<&Token> = code.iter().collect();
+    let (pragmas, pragma_errors) = collect_pragmas(&toks, &code_refs);
+
+    let mut fns = Vec::new();
+    let mut modules = module_path_of(rel_path);
+    parse_scope(&code, 0, code.len(), &mut modules, None, &test_ranges, &mut fns);
+    ParsedFile { rel_path: rel_path.to_string(), code, fns, pragmas, pragma_errors }
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Index of the token *after* the `}` matching an opening `{` at `open`.
+fn matching_brace(code: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if code[i].is_punct('{') {
+            depth += 1;
+        } else if code[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Recursive item scan over `code[i..end]`.
+fn parse_scope(
+    code: &[Token],
+    mut i: usize,
+    end: usize,
+    modules: &mut Vec<String>,
+    owner: Option<&str>,
+    test_ranges: &[(u32, u32)],
+    out: &mut Vec<FnDef>,
+) {
+    let is_ident_at = |k: usize| k < end && code[k].kind == TokKind::Ident;
+    while i < end {
+        let t = &code[i];
+        // mod name { … } — recurse with the module pushed.
+        if t.is_ident("mod") && is_ident_at(i + 1) {
+            // `mod name;` declarations have no inline body.
+            let mut j = i + 2;
+            if j < end && code[j].is_punct('{') {
+                let close = matching_brace(code, j, end);
+                modules.push(code[i + 1].text.clone());
+                parse_scope(code, j + 1, close - 1, modules, None, test_ranges, out);
+                modules.pop();
+                i = close;
+                continue;
+            }
+            // Attributes like #[cfg(test)] mod tests; — skip the `;`.
+            while j < end && !code[j].is_punct(';') {
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        // macro_rules! name { … } — opaque; its body is not item code.
+        if t.is_ident("macro_rules") && i + 1 < end && code[i + 1].is_punct('!') {
+            let mut j = i + 2;
+            while j < end && !code[j].is_punct('{') {
+                j += 1;
+            }
+            i = matching_brace(code, j, end);
+            continue;
+        }
+        // impl … { } / trait Name { } — recurse with the owner set.
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let header_end = {
+                let mut j = i + 1;
+                while j < end && !code[j].is_punct('{') && !code[j].is_punct(';') {
+                    j += 1;
+                }
+                j
+            };
+            if header_end < end && code[header_end].is_punct('{') {
+                let close = matching_brace(code, header_end, end);
+                let name = if t.is_ident("trait") {
+                    code.get(i + 1).filter(|n| n.kind == TokKind::Ident).map(|n| n.text.clone())
+                } else {
+                    impl_self_type(&code[i + 1..header_end])
+                };
+                parse_scope(
+                    code,
+                    header_end + 1,
+                    close - 1,
+                    modules,
+                    name.as_deref(),
+                    test_ranges,
+                    out,
+                );
+                i = close;
+                continue;
+            }
+            i = header_end + 1;
+            continue;
+        }
+        // fn name … { body } — record, then recurse for nested items.
+        if t.is_ident("fn") && is_ident_at(i + 1) {
+            let name = code[i + 1].text.clone();
+            let line = t.line;
+            let mut j = i + 2;
+            while j < end && !code[j].is_punct('{') && !code[j].is_punct(';') {
+                j += 1;
+            }
+            if j < end && code[j].is_punct('{') {
+                let close = matching_brace(code, j, end);
+                let body = (j + 1, close.saturating_sub(1));
+                let mut qual_segments: Vec<&str> = modules.iter().map(String::as_str).collect();
+                if let Some(o) = owner {
+                    qual_segments.push(o);
+                }
+                qual_segments.push(&name);
+                let qual = qual_segments.join("::");
+                out.push(FnDef {
+                    simple: name.clone(),
+                    owner: owner.map(str::to_string),
+                    qual,
+                    modules: modules.clone(),
+                    line,
+                    body,
+                    is_test: in_ranges(test_ranges, line),
+                });
+                // Nested fns become their own defs; the call extractor
+                // skips their ranges when walking the parent body.
+                parse_scope(code, j + 1, close - 1, modules, None, test_ranges, out);
+                i = close;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// The self-type name of an `impl` header (tokens between `impl` and `{`):
+/// the last path segment of the type after `for` (trait impls) or after
+/// the impl generics (inherent impls), stopping at `<` or `where`.
+fn impl_self_type(header: &[Token]) -> Option<String> {
+    // Skip leading generics: impl<T: Bound<U>> …
+    let mut i = 0usize;
+    if i < header.len() && header[i].is_punct('<') {
+        let mut depth = 0isize;
+        while i < header.len() {
+            if header[i].is_punct('<') {
+                depth += 1;
+            } else if header[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // If a top-level `for` exists the self type follows it.
+    let mut start = i;
+    let mut depth = 0isize;
+    for (k, t) in header.iter().enumerate().skip(i) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("for") {
+            start = k + 1;
+        } else if depth == 0 && t.is_ident("where") {
+            break;
+        }
+    }
+    // Last ident of the leading path, before any `<` or `where`.
+    let mut last: Option<String> = None;
+    let mut k = start;
+    while k < header.len() {
+        let t = &header[k];
+        if t.kind == TokKind::Ident && t.text != "where" && t.text != "dyn" {
+            last = Some(t.text.clone());
+            // A path continues through `::`; anything else ends the type.
+            if k + 2 < header.len() && header[k + 1].is_punct(':') && header[k + 2].is_punct(':') {
+                k += 3;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct('&') || t.is_punct('(') {
+            // `impl Trait for &Foo` / tuple impls — keep scanning.
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}

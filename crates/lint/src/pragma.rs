@@ -4,13 +4,16 @@
 //!
 //! ```text
 //! // arrow-lint: allow(rule-name) — why this site is safe
+//! // arrow-lint: allow-file(rule-name) — why this whole file is safe
 //! ```
 //!
-//! The separator may be an em-dash (`—`), `--`, or `:`. A pragma written
-//! on its own line covers the next line that contains code; a trailing
-//! pragma covers its own line. A pragma with an unknown rule name or a
-//! missing/empty justification is itself a violation (`bad-pragma`) and
-//! cannot be suppressed.
+//! The separator may be an em-dash (`—`), `--`, or `:`. A line pragma
+//! written on its own line covers the next line that contains code; a
+//! trailing pragma covers its own line. A file pragma must appear at the
+//! top of the file — before any code token — and covers every line. A
+//! pragma with an unknown rule name, a missing/empty justification, or an
+//! `allow-file` written after code has started is itself a violation
+//! (`bad-pragma`) and cannot be suppressed.
 
 use crate::lexer::{TokKind, Token};
 use crate::rules::{Violation, RULES};
@@ -39,7 +42,24 @@ pub fn collect_pragmas(toks: &[Token], code: &[&Token]) -> (Vec<Pragma>, Vec<Vio
         let body = t.text.trim().trim_start_matches(['/', '!']).trim();
         let Some(rest) = body.strip_prefix("arrow-lint:") else { continue };
         match parse_allow(rest.trim()) {
-            Ok(rule) => {
+            Ok((rule, FileScope::Whole)) => {
+                // allow-file is only honoured at the top of the file.
+                let code_before = code.iter().any(|c| (c.line, c.col) < (t.line, t.col));
+                if code_before {
+                    bad.push(Violation {
+                        rule: "bad-pragma",
+                        line: t.line,
+                        col: t.col,
+                        msg: format!(
+                            "allow-file({rule}) must appear at the top of the file, \
+                             before any code"
+                        ),
+                    });
+                } else {
+                    pragmas.push(Pragma { rule, from_line: 1, to_line: u32::MAX });
+                }
+            }
+            Ok((rule, FileScope::Line)) => {
                 let has_code_before =
                     code.iter().any(|c| c.line == t.line && (c.line, c.col) < (t.line, t.col));
                 let (from, to) = if has_code_before {
@@ -57,10 +77,24 @@ pub fn collect_pragmas(toks: &[Token], code: &[&Token]) -> (Vec<Pragma>, Vec<Vio
     (pragmas, bad)
 }
 
-/// Parses `allow(rule) <sep> justification`; returns the rule name.
-fn parse_allow(s: &str) -> Result<String, String> {
-    let Some(rest) = s.strip_prefix("allow(") else {
-        return Err(format!("unrecognized arrow-lint pragma `{s}`; expected `allow(rule) — why`"));
+/// Whether a pragma covers one line or the whole file.
+enum FileScope {
+    Line,
+    Whole,
+}
+
+/// Parses `allow(rule) <sep> justification` or `allow-file(rule) <sep>
+/// justification`; returns the rule name and scope.
+fn parse_allow(s: &str) -> Result<(String, FileScope), String> {
+    let (rest, scope) = if let Some(r) = s.strip_prefix("allow-file(") {
+        (r, FileScope::Whole)
+    } else if let Some(r) = s.strip_prefix("allow(") {
+        (r, FileScope::Line)
+    } else {
+        return Err(format!(
+            "unrecognized arrow-lint pragma `{s}`; expected `allow(rule) — why` \
+             or `allow-file(rule) — why`"
+        ));
     };
     let Some(close) = rest.find(')') else {
         return Err("unterminated `allow(` in arrow-lint pragma".into());
@@ -83,5 +117,5 @@ fn parse_allow(s: &str) -> Result<String, String> {
              `arrow-lint: allow({rule}) — <why this site is safe>`"
         ));
     }
-    Ok(rule.to_string())
+    Ok((rule.to_string(), scope))
 }

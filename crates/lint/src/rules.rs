@@ -4,12 +4,18 @@
 use crate::lexer::{lex, test_line_ranges, TokKind, Token};
 use crate::pragma::{collect_pragmas, Pragma};
 
-/// Crates whose output feeds LP row construction or ticket generation —
-/// hash-seeded iteration order there breaks byte-identical tickets.
-const DETERMINISM_CRATES: &[&str] = &["lp", "optical", "core", "te"];
+/// Crates whose output feeds LP row construction, ticket generation, the
+/// scenario universe, or the daemon's digest-compared plans — hash-seeded
+/// iteration order there breaks byte-identical artifacts.
+const DETERMINISM_CRATES: &[&str] = &["lp", "optical", "core", "te", "sim", "topology"];
 
-/// Product library crates whose public API must not panic on user input.
-const NO_PANIC_CRATES: &[&str] = &["lp", "optical", "topology", "te", "core", "sim", "obs"];
+/// Root-package paths under the same determinism contract as
+/// [`DETERMINISM_CRATES`] (the daemon's soak digests are byte-compared).
+const DETERMINISM_PATHS: &[&str] = &["src/daemon"];
+
+/// Product library crates whose public API must not panic on user input
+/// (`lint` is held to its own standard — the self-check test enforces it).
+const NO_PANIC_CRATES: &[&str] = &["lp", "optical", "topology", "te", "core", "sim", "obs", "lint"];
 
 /// Crates allowed to read wall clocks (`obs` owns timing; `bench` and the
 /// linter itself are dev tools).
@@ -37,6 +43,18 @@ pub const RULES: &[(&str, &str)] = &[
         "wall-clock-in-core",
         "no Instant/SystemTime outside obs and bench: wall-clock reads in solver or \
          controller code break warm-start replay determinism",
+    ),
+    (
+        "panic-reachability",
+        "no call path from a controller entry point (plan_epoch, solve_batch, daemon \
+         serve) may reach unwrap/expect/panic! in product code: a reachable panic kills \
+         the long-lived daemon mid-epoch instead of failing one request",
+    ),
+    (
+        "determinism-taint",
+        "hash-order iteration, wall clocks, and RNG construction outside derive_seed \
+         must not flow into functions producing digests, ScenarioIds, tickets, or \
+         plans: byte-identical artifacts are the determinism contract",
     ),
 ];
 
@@ -113,7 +131,10 @@ pub fn check_file(input: &FileInput) -> Vec<Violation> {
     let is_lib_code = |line: u32| input.kind == FileKind::Lib && !in_ranges(&test_ranges, line);
 
     // Rule 1: nondeterministic-iteration.
-    if DETERMINISM_CRATES.contains(&input.crate_name) {
+    if DETERMINISM_CRATES.contains(&input.crate_name)
+        || DETERMINISM_PATHS.iter().any(|p| input.rel_path.starts_with(p))
+    {
+        let scope = if input.crate_name.is_empty() { "src/daemon" } else { input.crate_name };
         for t in &code {
             if (t.is_ident("HashMap") || t.is_ident("HashSet")) && is_lib_code(t.line) {
                 out.push(Violation {
@@ -121,10 +142,10 @@ pub fn check_file(input: &FileInput) -> Vec<Violation> {
                     line: t.line,
                     col: t.col,
                     msg: format!(
-                        "{} in determinism-critical crate `{}`: hash-seeded iteration \
+                        "{} in determinism-critical code `{}`: hash-seeded iteration \
                          order varies per process/thread and LP rows + tickets must be \
                          byte-identical; use BTreeMap/BTreeSet or a sorted Vec",
-                        t.text, input.crate_name
+                        t.text, scope
                     ),
                 });
             }

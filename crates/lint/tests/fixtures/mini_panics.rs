@@ -1,0 +1,37 @@
+//! Fixture: a deliberate panic chain for the interprocedural tests.
+//!
+//! `Planner::plan_epoch` → `Planner::select_winning` → `paths::disjoint`
+//! → `paths::pick` → `.unwrap()`. Never compiled — parsed by the test
+//! suite under a synthetic product-lib path.
+
+pub struct Planner;
+
+impl Planner {
+    pub fn plan_epoch(&self) -> u32 {
+        self.select_winning()
+    }
+
+    fn select_winning(&self) -> u32 {
+        paths::disjoint(3)
+    }
+}
+
+pub mod paths {
+    pub fn disjoint(k: u32) -> u32 {
+        pick(k)
+    }
+
+    fn pick(k: u32) -> u32 {
+        let v: Vec<u32> = (0..k).collect();
+        v.first().copied().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let x: Option<u8> = None;
+        assert_eq!(x.unwrap_or(0), super::paths::disjoint(1) as u8 - 1);
+    }
+}

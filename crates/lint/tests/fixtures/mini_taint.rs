@@ -1,0 +1,26 @@
+//! Fixture: nondeterminism flowing into a digest-producing sink.
+//!
+//! `TicketSet::digest` reaches a `HashMap` construction through
+//! `collect_ids` (a taint finding); the RNG in `seeded` goes through
+//! `derive_seed` and is clean. Never compiled — parsed by the test suite
+//! under a synthetic product-lib path.
+
+pub struct TicketSet;
+
+impl TicketSet {
+    pub fn digest(&self) -> u64 {
+        let a = collect_ids().iter().fold(0, |acc, &(k, v)| acc ^ k ^ v);
+        a ^ seeded(a)
+    }
+}
+
+fn collect_ids() -> Vec<(u64, u64)> {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u64, 2u64);
+    m.into_iter().collect()
+}
+
+fn seeded(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 7));
+    rng.next_u64()
+}

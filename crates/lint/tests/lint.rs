@@ -195,8 +195,14 @@ fn wall_clock_rule_scoping() {
 fn hash_rule_only_in_determinism_crates_and_lib_code() {
     let src = "pub fn f() { let _ = std::collections::HashSet::<u8>::new(); }";
     assert!(!check_source("crates/te/src/x.rs", src).is_empty());
-    // topology and sim do not feed LP rows or tickets.
-    assert!(check_source("crates/topology/src/x.rs", src).is_empty());
+    // topology feeds the scenario universe and sim the soak digests; the
+    // daemon's plans are byte-compared. All are determinism-critical.
+    assert!(!check_source("crates/topology/src/x.rs", src).is_empty());
+    assert!(!check_source("crates/sim/src/x.rs", src).is_empty());
+    assert!(!check_source("src/daemon/mod.rs", src).is_empty());
+    // obs is egress-only telemetry; the root CLI shim is not.
+    assert!(check_source("crates/obs/src/x.rs", src).is_empty());
+    assert!(check_source("src/bin/arrow.rs", src).is_empty());
     // Integration tests and benches of determinism crates are exempt.
     assert!(check_source("crates/te/tests/x.rs", src).is_empty());
     assert!(check_source("crates/bench/benches/x.rs", src).is_empty());
@@ -259,6 +265,58 @@ pub fn f(v: &mut [f64], x: Option<u8>) -> u8 {
 ";
     let hits = lint_core(src);
     assert_eq!(hits, vec!["panic-on-input-path:4"], "{hits:?}");
+}
+
+#[test]
+fn file_pragma_suppresses_the_whole_file() {
+    let src = "
+// arrow-lint: allow-file(panic-on-input-path) — fixture module; every panic is exercised by tests
+pub fn f(x: Option<u8>) -> u8 { x.unwrap() }
+pub fn g() { panic!(\"boom\") }
+pub fn h(x: Option<u8>) -> u8 { x.expect(\"far from the pragma\") }
+";
+    assert!(lint_core(src).is_empty());
+}
+
+#[test]
+fn file_pragma_only_suppresses_its_named_rule() {
+    let src = "
+// arrow-lint: allow-file(panic-on-input-path) — panics are fine here
+pub fn f(x: Option<u8>) -> u8 { let _ = std::collections::HashMap::<u8, u8>::new(); x.unwrap() }
+";
+    let hits = lint_core(src);
+    assert_eq!(hits, vec!["nondeterministic-iteration:3"], "{hits:?}");
+}
+
+#[test]
+fn file_pragma_after_code_is_rejected() {
+    let src = "
+pub fn f() {}
+// arrow-lint: allow-file(panic-on-input-path) — too late, code precedes it
+pub fn g(x: Option<u8>) -> u8 { x.unwrap() }
+";
+    let hits = lint_core(src);
+    assert!(hits.contains(&"bad-pragma:3".to_string()), "{hits:?}");
+    assert!(hits.contains(&"panic-on-input-path:4".to_string()), "{hits:?}");
+}
+
+#[test]
+fn file_pragma_unknown_rule_is_rejected() {
+    let src = "// arrow-lint: allow-file(no-such-rule) — because\nfn f() {}";
+    let hits = lint_core(src);
+    assert_eq!(hits, vec!["bad-pragma:1"], "{hits:?}");
+}
+
+#[test]
+fn file_pragma_without_justification_is_rejected() {
+    let src = "
+// arrow-lint: allow-file(panic-on-input-path)
+pub fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+    let hits = lint_core(src);
+    // The bare file pragma is itself a violation AND fails to suppress.
+    assert!(hits.contains(&"bad-pragma:2".to_string()), "{hits:?}");
+    assert!(hits.contains(&"panic-on-input-path:3".to_string()), "{hits:?}");
 }
 
 #[test]

@@ -38,15 +38,16 @@ pub struct Fiber {
 impl Fiber {
     /// The endpoint opposite `r`.
     ///
-    /// # Panics
-    /// Panics if `r` is not an endpoint of this fiber.
+    /// Calling this with a ROADM that is not an endpoint is a caller bug;
+    /// debug builds assert, release builds return `a` (the graph walks
+    /// that use this always iterate a node's own incident fibers, so the
+    /// precondition holds by construction).
     pub fn other_end(&self, r: RoadmId) -> RoadmId {
+        debug_assert!(self.touches(r), "ROADM {r:?} is not an endpoint of this fiber");
         if r == self.a {
             self.b
-        } else if r == self.b {
-            self.a
         } else {
-            panic!("ROADM {r:?} is not an endpoint of this fiber");
+            self.a
         }
     }
 

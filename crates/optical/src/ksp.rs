@@ -90,7 +90,8 @@ pub fn shortest_path(
     let mut fibers = Vec::new();
     let mut at = dst.0;
     while at != src.0 {
-        let (p, f) = prev[at].expect("finite distance implies a predecessor");
+        // Finite distance implies an unbroken predecessor chain to src.
+        let (p, f) = prev[at]?;
         fibers.push(f);
         at = p;
     }
@@ -133,7 +134,7 @@ pub fn k_shortest_paths(
     }
     let mut candidates: Vec<FiberPath> = Vec::new();
     while accepted.len() < k {
-        let last = accepted.last().expect("loop precondition").clone();
+        let Some(last) = accepted.last().cloned() else { break };
         let last_nodes = path_nodes(net, src, &last.fibers);
         // Branch at every spur node of the previous path.
         for spur_idx in 0..last.fibers.len() {
@@ -166,12 +167,14 @@ pub fn k_shortest_paths(
             break;
         }
         // Promote the shortest candidate.
-        let best = candidates
+        let Some(best) = candidates
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.length_km.total_cmp(&b.1.length_km))
             .map(|(i, _)| i)
-            .expect("non-empty");
+        else {
+            break;
+        };
         accepted.push(candidates.swap_remove(best));
     }
     accepted

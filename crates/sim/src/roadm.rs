@@ -9,7 +9,7 @@
 //! many devices are touched.
 
 use arrow_optical::{FiberPath, OpticalNetwork, RoadmId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// ROADM-stage timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -41,8 +41,8 @@ pub struct RoadmGroups {
 /// Collects the ROADM groups for a set of restored routes
 /// `(src, dst, surrogate path)`.
 pub fn roadm_groups(net: &OpticalNetwork, routes: &[(RoadmId, RoadmId, FiberPath)]) -> RoadmGroups {
-    let mut add_drop: HashSet<RoadmId> = HashSet::new();
-    let mut intermediate: HashSet<RoadmId> = HashSet::new();
+    let mut add_drop: BTreeSet<RoadmId> = BTreeSet::new();
+    let mut intermediate: BTreeSet<RoadmId> = BTreeSet::new();
     for (src, dst, path) in routes {
         add_drop.insert(*src);
         add_drop.insert(*dst);
@@ -54,13 +54,9 @@ pub fn roadm_groups(net: &OpticalNetwork, routes: &[(RoadmId, RoadmId, FiberPath
             }
         }
     }
-    let inter: Vec<RoadmId> = {
-        let mut v: Vec<RoadmId> = intermediate.difference(&add_drop).copied().collect();
-        v.sort();
-        v
-    };
-    let mut ad: Vec<RoadmId> = add_drop.into_iter().collect();
-    ad.sort();
+    // BTreeSet iterates in sorted order, so both groups come out sorted.
+    let inter: Vec<RoadmId> = intermediate.difference(&add_drop).copied().collect();
+    let ad: Vec<RoadmId> = add_drop.into_iter().collect();
     RoadmGroups { add_drop: ad, intermediate: inter }
 }
 

@@ -552,37 +552,40 @@ impl ArrowOnline {
             self.arrow.select_winning(inst, &self.phase1.base, &sol1)
         };
         let cache_valid = self.phase2.as_ref().is_some_and(|c| c.winning == winning);
-        let sol2 = {
+        let (sol2, alloc, plan) = {
             let _span = arrow_obs::span!(
                 "te.phase2",
                 "flows" => inst.flows.len(),
                 "cached" => cache_valid,
             );
-            if !cache_valid {
-                let (base, plan) = self.arrow.build_phase2(inst, &winning);
-                // Seed Phase II from the Phase I allocation: both models
-                // allocate b then a first, so the variable prefix is shared.
-                // (No basis: the row sets differ, so only the point maps.)
-                let ncols = base.model.num_vars();
-                let warm = Some(WarmStart::from_point(PrimalDual {
-                    x: sol1.x[..ncols].to_vec(),
-                    y: Vec::new(),
-                }));
-                self.phase2 = Some(Phase2Cache { winning: winning.clone(), base, plan, warm });
-            }
-            let cache = self.phase2.as_mut().expect("phase2 cache populated above");
+            let warm_cache = match self.phase2.take() {
+                Some(c) if c.winning == winning => c,
+                _ => {
+                    let (base, plan) = self.arrow.build_phase2(inst, &winning);
+                    // Seed Phase II from the Phase I allocation: both models
+                    // allocate b then a first, so the variable prefix is shared.
+                    // (No basis: the row sets differ, so only the point maps.)
+                    let ncols = base.model.num_vars();
+                    let warm = Some(WarmStart::from_point(PrimalDual {
+                        x: sol1.x[..ncols].to_vec(),
+                        y: Vec::new(),
+                    }));
+                    Phase2Cache { winning: winning.clone(), base, plan, warm }
+                }
+            };
+            let cache = self.phase2.insert(warm_cache);
             for (fi, f) in inst.flows.iter().enumerate() {
                 cache.base.model.set_bounds(cache.base.b[fi], 0.0, f.demand_gbps);
             }
-            arrow_lp::solve_with(&cache.base.model, &self.arrow.solver, cache.warm.as_ref())
+            let sol2 =
+                arrow_lp::solve_with(&cache.base.model, &self.arrow.solver, cache.warm.as_ref());
+            assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
+            cache.warm = sol2.warm_start();
+            let alloc = extract_alloc(inst, &cache.base, &sol2, "ARROW");
+            let plan = cache.plan.clone();
+            (sol2, alloc, plan)
         };
-        assert!(sol2.status.is_usable(), "ARROW Phase II LP failed: {:?}", sol2.status);
-        let cache = self.phase2.as_mut().expect("phase2 cache populated above");
-        cache.warm = sol2.warm_start();
-        let mut output = SchemeOutput {
-            alloc: extract_alloc(inst, &cache.base, &sol2, "ARROW"),
-            restoration: Some(cache.plan.clone()),
-        };
+        let mut output = SchemeOutput { alloc, restoration: Some(plan) };
         output.alloc.solve_seconds = sol1.stats.solve_seconds + sol2.stats.solve_seconds;
         ArrowOutcome {
             output,

@@ -104,10 +104,9 @@ impl TeScheme for TeaVar {
             // s_q + Σ delivered / D + α ≥ 1.
             let mut loss_con = LinExpr::term(s_q, 1.0).add(alpha, 1.0);
             for (fi, flow) in inst.flows.iter().enumerate() {
-                let affected =
-                    scen.is_some_and(|s| flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, s)));
-                let d = if affected {
-                    let scen = scen.expect("affected implies a failure scenario");
+                let affected_scen =
+                    scen.filter(|s| flow.tunnels.iter().any(|&t| !inst.tunnel_survives(t, s)));
+                let d = if let Some(scen) = affected_scen {
                     let d = model.add_var(0.0, flow.demand_gbps, format!("del_f{fi}_q{qi}"));
                     // delivered ≤ surviving tunnel allocations.
                     let mut cover = LinExpr::term(d, -1.0);

@@ -168,7 +168,8 @@ fn ip_shortest_path(
     let mut hops = Vec::new();
     let mut at = dst.0;
     while at != src.0 {
-        let (p, h) = prev[at].expect("finite distance implies predecessor");
+        // Finite distance implies an unbroken predecessor chain to src.
+        let (p, h) = prev[at]?;
         hops.push(h);
         at = p;
     }
@@ -196,7 +197,7 @@ fn ip_k_shortest(wan: &Wan, src: SiteId, dst: SiteId, k: usize) -> Vec<(Vec<Dire
     accepted.push(first);
     let mut candidates: Vec<(Vec<DirectedHop>, f64)> = Vec::new();
     while accepted.len() < k {
-        let (last_hops, _) = accepted.last().expect("non-empty").clone();
+        let Some((last_hops, _)) = accepted.last().cloned() else { break };
         let last_sites = hop_sites(wan, src, &last_hops);
         for spur in 0..last_hops.len() {
             let spur_site = last_sites[spur];
@@ -231,12 +232,11 @@ fn ip_k_shortest(wan: &Wan, src: SiteId, dst: SiteId, k: usize) -> Vec<(Vec<Dire
         if candidates.is_empty() {
             break;
         }
-        let best = candidates
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
-            .map(|(i, _)| i)
-            .expect("non-empty");
+        let Some(best) =
+            candidates.iter().enumerate().min_by(|a, b| a.1 .1.total_cmp(&b.1 .1)).map(|(i, _)| i)
+        else {
+            break;
+        };
         accepted.push(candidates.swap_remove(best));
     }
     accepted
@@ -281,7 +281,7 @@ pub fn build_instance(
                     .collect();
                 // Score: number of already-chosen tunnels we are fiber-
                 // disjoint from (higher better), then shorter length.
-                let best = cands
+                let Some(best) = cands
                     .iter()
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
@@ -304,7 +304,9 @@ pub fn build_instance(
                         score(a).total_cmp(&score(b))
                     })
                     .map(|(i, _)| i)
-                    .expect("non-empty");
+                else {
+                    break;
+                };
                 chosen.push(cands.swap_remove(best));
             }
         } else {

@@ -57,7 +57,8 @@ fn optical_from_edges(
     let mut net = OpticalNetwork::new(num_slots);
     let roadms = net.add_roadms(num_roadms);
     for &(a, b, km) in edges {
-        net.add_fiber(roadms[a], roadms[b], km).expect("edge list references valid ROADMs");
+        let added = net.add_fiber(roadms[a], roadms[b], km);
+        debug_assert!(added.is_ok(), "edge list references valid ROADMs");
     }
     net
 }
@@ -110,18 +111,20 @@ fn provision_ip_layer(
         // spreads instead of piling onto the shortest central fibers (this
         // is what keeps the Fig. 5a utilization profile: 95% < 60%).
         let mut paths = k_shortest_paths(optical, src, dst, 4, &[], cfg.modulation.max_reach_km());
-        let load = |p: &arrow_optical::FiberPath| -> f64 {
-            p.fibers.iter().map(|&f| optical.fiber(f).spectrum.utilization()).fold(0.0, f64::max)
+        // Takes the network explicitly (no capture) so the borrow ends at
+        // each call and `optical.provision` below can borrow mutably.
+        let load = |net: &OpticalNetwork, p: &arrow_optical::FiberPath| -> f64 {
+            p.fibers.iter().map(|&f| net.fiber(f).spectrum.utilization()).fold(0.0, f64::max)
         };
         // Keep hot fibers under ~55% so the utilization profile matches
         // Fig. 5a; overloaded candidates are only used as a last resort.
         paths.sort_by(|a, b| {
-            let (la, lb) = (load(a), load(b));
+            let (la, lb) = (load(optical, a), load(optical, b));
             let (ca, cb) = (la >= 0.55, lb >= 0.55);
             ca.cmp(&cb).then(la.total_cmp(&lb))
         });
         for path in paths {
-            if strict && load(&path) >= 0.58 {
+            if strict && load(optical, &path) >= 0.58 {
                 continue;
             }
             let Some(gbps) = cfg.modulation.max_gbps_for_length(path.length_km) else {
@@ -152,15 +155,18 @@ fn provision_ip_layer(
             }
             let _ = rng;
             let capacity = slots.len() as f64 * gbps;
-            let lp = optical
-                .provision(Lightpath {
-                    src,
-                    dst,
-                    path: path.fibers.clone(),
-                    slots,
-                    gbps_per_wavelength: gbps,
-                })
-                .expect("slots were checked free");
+            // Slots were checked free above, so provisioning succeeds; if
+            // it ever refused, trying the next candidate path is still the
+            // right move.
+            let Ok(lp) = optical.provision(Lightpath {
+                src,
+                dst,
+                path: path.fibers.clone(),
+                slots,
+                gbps_per_wavelength: gbps,
+            }) else {
+                continue;
+            };
             return Some(IpLink {
                 a: SiteId(i),
                 b: SiteId(j),
@@ -350,7 +356,8 @@ pub fn facebook_like(seed: u64) -> Wan {
                 }
             }
         }
-        let (a, b, d) = best.expect("graph not yet spanning");
+        // Every Prim round over a non-spanning tree finds a frontier edge.
+        let Some((a, b, d)) = best else { break };
         in_tree[b] = true;
         edges.push((a, b, d));
     }
@@ -398,7 +405,8 @@ pub fn facebook_like(seed: u64) -> Wan {
         let mut path = Vec::new();
         let mut at = b;
         while at != a {
-            let (p, ei) = prev[at].expect("MST is connected");
+            // The MST is connected, so BFS reaches b with a full chain.
+            let Some((p, ei)) = prev[at] else { break };
             path.push(ei);
             at = p;
         }
@@ -439,14 +447,13 @@ pub fn facebook_like(seed: u64) -> Wan {
     // Router sites: 34 ROADMs chosen greedily for max-min spread.
     let mut routers: Vec<usize> = vec![0];
     while routers.len() < 34 {
-        let far = (0..n_roadms)
-            .filter(|r| !routers.contains(r))
-            .max_by(|&a, &b| {
-                let da = routers.iter().map(|&r| dist(a, r)).fold(f64::INFINITY, f64::min);
-                let db = routers.iter().map(|&r| dist(b, r)).fold(f64::INFINITY, f64::min);
-                da.total_cmp(&db)
-            })
-            .expect("enough ROADMs");
+        let Some(far) = (0..n_roadms).filter(|r| !routers.contains(r)).max_by(|&a, &b| {
+            let da = routers.iter().map(|&r| dist(a, r)).fold(f64::INFINITY, f64::min);
+            let db = routers.iter().map(|&r| dist(b, r)).fold(f64::INFINITY, f64::min);
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         routers.push(far);
     }
     let router_roadms: Vec<RoadmId> = routers.into_iter().map(RoadmId).collect();

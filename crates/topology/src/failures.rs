@@ -511,6 +511,7 @@ pub fn compile_universe(wan: &Wan, cfg: &UniverseConfig) -> ScenarioUniverse {
 
     // Per-fiber probabilities: the identical stream FailureConfig draws
     // (same seed → same probabilities), then flapping boosts.
+    // arrow-lint: allow(determinism-taint) — stream is seeded from UniverseConfig::seed, so identical configs compile identical universes
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut fiber_prob: Vec<f64> =
         (0..nf).map(|_| weibull(&mut rng, cfg.weibull_shape, cfg.weibull_scale).min(0.5)).collect();
@@ -610,6 +611,7 @@ pub fn compile_universe(wan: &Wan, cfg: &UniverseConfig) -> ScenarioUniverse {
             .iter()
             .enumerate()
             .map(|(i, c)| {
+                // arrow-lint: allow(determinism-taint) — draw is keyed by (config seed, scenario id), independent of enumeration order
                 let mut srng = StdRng::seed_from_u64(mix64(cfg.seed ^ c.id.0));
                 let u: f64 = srng.gen_range(0.0..1.0);
                 // w > 0 (candidates with p <= 0 never enter); ln(u) ≤ 0,

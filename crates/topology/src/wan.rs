@@ -33,15 +33,16 @@ pub struct IpLink {
 impl IpLink {
     /// The endpoint opposite `s`.
     ///
-    /// # Panics
-    /// Panics if `s` is not an endpoint.
+    /// Calling this with a site that is not an endpoint is a caller bug;
+    /// debug builds assert, release builds return `a` (callers only reach
+    /// this through a site's own incident-link lists, so the precondition
+    /// holds by construction).
     pub fn other_end(&self, s: SiteId) -> SiteId {
+        debug_assert!(s == self.a || s == self.b, "site {s:?} is not an endpoint of this IP link");
         if s == self.a {
             self.b
-        } else if s == self.b {
-            self.a
         } else {
-            panic!("site {s:?} is not an endpoint of this IP link")
+            self.a
         }
     }
 }
